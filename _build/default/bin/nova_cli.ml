@@ -1,0 +1,257 @@
+(* The nova command-line tool: encode the states of a KISS2 FSM with any
+   of the paper's algorithms, report the resulting two-level
+   implementation, and inspect constraints.
+
+     nova stats machine.kiss2
+     nova constraints machine.kiss2
+     nova encode --algorithm ihybrid machine.kiss2
+     nova encode --algorithm iohybrid --pla machine.kiss2
+     nova encode --algorithm mustang-nt --bits 5 machine.kiss2
+     nova bench dk16                 (run on a built-in benchmark machine)
+*)
+
+open Cmdliner
+
+let read_machine path =
+  try
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      Kiss.parse ~name:(Filename.remove_extension (Filename.basename path)) text
+    end
+    else Benchmarks.Suite.find path
+  with
+  | Kiss.Parse_error msg ->
+      Printf.eprintf "nova: cannot parse %s: %s\n" path msg;
+      exit 2
+  | Not_found ->
+      Printf.eprintf "nova: no file and no built-in machine called %S (try `nova list`)\n" path;
+      exit 2
+
+let machine_arg =
+  let doc = "KISS2 file, or the name of a built-in benchmark machine." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MACHINE" ~doc)
+
+(* --- stats -------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run path =
+    let m = read_machine path in
+    let s = Fsm.stats m in
+    Printf.printf "%s: %d inputs, %d outputs, %d states, %d product terms\n" s.Fsm.stat_name
+      s.Fsm.stat_inputs s.Fsm.stat_outputs s.Fsm.stat_states s.Fsm.stat_products;
+    Printf.printf "minimum code length: %d bits; 1-hot: %d bits\n" (Fsm.min_code_length m)
+      s.Fsm.stat_states
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the statistics of a machine (Table I columns).")
+    Term.(const run $ machine_arg)
+
+(* --- constraints --------------------------------------------------------- *)
+
+let constraints_cmd =
+  let run path =
+    let m = read_machine path in
+    let sym = Symbolic.of_fsm m in
+    let ics = Constraints.of_symbolic sym in
+    Printf.printf "input constraints of %s (from multiple-valued minimization):\n" m.Fsm.name;
+    List.iter
+      (fun (ic : Constraints.input_constraint) ->
+        Printf.printf "  %s  weight %d  {%s}\n"
+          (Bitvec.to_string ic.Constraints.states)
+          ic.Constraints.weight
+          (String.concat ","
+             (List.map (fun s -> m.Fsm.states.(s)) (Bitvec.to_list ic.Constraints.states))))
+      ics;
+    let sm = Symbmin.run sym in
+    Printf.printf "symbolic minimization: %d product terms, %d covering edges\n"
+      (Symbmin.upper_bound sm) (List.length sm.Symbmin.graph);
+    List.iter
+      (fun (u, v, w) ->
+        Printf.printf "  %s > %s (gain %d)\n" m.Fsm.states.(u) m.Fsm.states.(v) w)
+      sm.Symbmin.graph
+  in
+  Cmd.v
+    (Cmd.info "constraints"
+       ~doc:"Print the input constraints and output covering constraints of a machine.")
+    Term.(const run $ machine_arg)
+
+(* --- encode -------------------------------------------------------------- *)
+
+type algorithm =
+  | A_ihybrid
+  | A_igreedy
+  | A_iohybrid
+  | A_iovariant
+  | A_iexact
+  | A_kiss
+  | A_onehot
+  | A_random
+  | A_mustang of Baselines.mustang_flavor * bool
+
+let algorithms =
+  [
+    ("ihybrid", A_ihybrid); ("igreedy", A_igreedy); ("iohybrid", A_iohybrid);
+    ("iovariant", A_iovariant); ("iexact", A_iexact); ("kiss", A_kiss);
+    ("onehot", A_onehot); ("random", A_random);
+    ("mustang-n", A_mustang (Baselines.Fanout, false));
+    ("mustang-nt", A_mustang (Baselines.Fanout, true));
+    ("mustang-p", A_mustang (Baselines.Fanin, false));
+    ("mustang-pt", A_mustang (Baselines.Fanin, true));
+  ]
+
+let algo_arg =
+  let doc =
+    "Encoding algorithm: " ^ String.concat ", " (List.map fst algorithms) ^ "."
+  in
+  Arg.(
+    value
+    & opt (enum algorithms) A_ihybrid
+    & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let bits_arg =
+  let doc = "Code length in bits (defaults to the algorithm's choice)." in
+  Arg.(value & opt (some int) None & info [ "b"; "bits" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Seed for the random algorithm." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let pla_arg =
+  let doc = "Also print the minimized encoded PLA personality." in
+  Arg.(value & flag & info [ "pla" ] ~doc)
+
+let encode algo bits seed pla path =
+  let m = read_machine path in
+  let n = Fsm.num_states ~m in
+  let driver_algo =
+    match algo with
+    | A_ihybrid -> Harness.Driver.Ihybrid
+    | A_igreedy -> Harness.Driver.Igreedy
+    | A_iohybrid -> Harness.Driver.Iohybrid
+    | A_iovariant -> Harness.Driver.Iovariant
+    | A_iexact -> Harness.Driver.Iexact
+    | A_kiss -> Harness.Driver.Kiss
+    | A_onehot -> Harness.Driver.One_hot
+    | A_random -> Harness.Driver.Random seed
+    | A_mustang (flavor, include_outputs) -> Harness.Driver.Mustang (flavor, include_outputs)
+  in
+  let encoding, r =
+    match bits with
+    | Some b -> Harness.Driver.report ~bits:b m driver_algo
+    | None -> Harness.Driver.report m driver_algo
+  in
+  Printf.printf "machine %s: %d states encoded in %d bits\n" m.Fsm.name n
+    encoding.Encoding.nbits;
+  Array.iteri
+    (fun s name -> Printf.printf "  %-12s %s\n" name (Encoding.code_string encoding s))
+    m.Fsm.states;
+  Printf.printf "two-level implementation: %d product terms, PLA area %d\n" r.Encoded.num_cubes
+    r.Encoded.area;
+  if n <= 60 then begin
+    let onehot = Encoded.implement m (Encoding.one_hot n) in
+    Printf.printf "(1-hot reference: %d product terms, area %d)\n" onehot.Encoded.num_cubes
+      onehot.Encoded.area
+  end;
+  if pla then
+    Pla.print Format.std_formatter r.Encoded.cover
+      ~num_binary_vars:(m.Fsm.num_inputs + encoding.Encoding.nbits)
+
+let encode_cmd =
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Encode a machine's states and report the implementation.")
+    Term.(const encode $ algo_arg $ bits_arg $ seed_arg $ pla_arg $ machine_arg)
+
+(* --- minstates -------------------------------------------------------------- *)
+
+let minstates_cmd =
+  let run exact path =
+    let m = read_machine path in
+    let before = Fsm.num_states ~m in
+    let reduced =
+      if exact then Reduce_states.reduce m else Reduce_states.reduce_incompletely_specified m
+    in
+    let after = Fsm.num_states ~m:reduced in
+    Printf.eprintf "%s: %d states -> %d states (%s)\n" m.Fsm.name before after
+      (if exact then "partition refinement" else "compatibility merging");
+    print_string (Kiss.to_string reduced)
+  in
+  let exact_arg =
+    let doc =
+      "Use exact partition refinement (completely specified machines) instead of the \
+       incompletely-specified compatibility heuristic."
+    in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "minstates"
+       ~doc:"Minimize the number of states and print the reduced machine in KISS2 format.")
+    Term.(const run $ exact_arg $ machine_arg)
+
+(* --- dot / blif -------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run path = Export.dot Format.std_formatter (read_machine path) in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Print the machine as a Graphviz digraph.")
+    Term.(const run $ machine_arg)
+
+let blif_cmd =
+  let run algo bits seed path =
+    let m = read_machine path in
+    let n = Fsm.num_states ~m in
+    let encoding =
+      match algo with
+      | A_onehot -> Encoding.one_hot n
+      | A_random ->
+          let nbits = Option.value bits ~default:(Fsm.min_code_length m) in
+          Encoding.random (Random.State.make [| seed |]) ~num_states:n ~nbits
+      | A_mustang (flavor, include_outputs) ->
+          let nbits = Option.value bits ~default:(Fsm.min_code_length m) in
+          Baselines.mustang_encode m ~flavor ~include_outputs ~nbits
+      | A_ihybrid | A_igreedy | A_iohybrid | A_iovariant | A_iexact | A_kiss ->
+          let ics = Constraints.of_symbolic (Symbolic.of_fsm m) in
+          (Ihybrid.ihybrid_code ~num_states:n ?nbits:bits ics).Ihybrid.encoding
+    in
+    let r = Encoded.implement m encoding in
+    let net =
+      Multilevel.of_cover r.Encoded.cover
+        ~num_binary_vars:(m.Fsm.num_inputs + encoding.Encoding.nbits)
+    in
+    let net = Multilevel.optimize net in
+    Export.blif Format.std_formatter net ~name:m.Fsm.name
+      ~num_inputs:(m.Fsm.num_inputs + encoding.Encoding.nbits)
+  in
+  Cmd.v
+    (Cmd.info "blif"
+       ~doc:
+         "Encode the machine, optimize the encoded network multilevel, and print it in BLIF \
+          (state bits appear as extra inputs/outputs).")
+    Term.(const run $ algo_arg $ bits_arg $ seed_arg $ machine_arg)
+
+(* --- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        let m = Lazy.force e.Benchmarks.Suite.machine in
+        let s = Fsm.stats m in
+        Printf.printf "%-10s %3d inputs %3d outputs %4d states %5d rows%s\n" e.Benchmarks.Suite.name
+          s.Fsm.stat_inputs s.Fsm.stat_outputs s.Fsm.stat_states s.Fsm.stat_products
+          (if e.Benchmarks.Suite.heavy then "  (heavy)" else ""))
+      Benchmarks.Suite.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmark machines.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "NOVA: optimal state assignment for two-level implementations" in
+  let info = Cmd.info "nova" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ stats_cmd; constraints_cmd; encode_cmd; minstates_cmd; dot_cmd; blif_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/compare_algorithms.ml: Array Baselines Benchmarks Constraints Encoded Encoding Fsm Iexact Igreedy Ihybrid Iohybrid List Multilevel Printf Random Symbmin Symbolic Sys

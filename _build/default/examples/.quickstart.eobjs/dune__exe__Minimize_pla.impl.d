@@ -1,0 +1,1 @@
+examples/minimize_pla.ml: Array Espresso Format Logic Pla Printf Sys

@@ -1,0 +1,1 @@
+examples/minimize_pla.mli:

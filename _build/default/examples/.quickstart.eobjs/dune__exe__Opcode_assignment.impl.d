@@ -1,0 +1,1 @@
+examples/opcode_assignment.ml: Array Bitvec Constraints Encoded Encoding Fsm Iexact Ihybrid List Printf Random String Symbolic

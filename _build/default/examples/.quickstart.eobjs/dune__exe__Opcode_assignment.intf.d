@@ -1,0 +1,1 @@
+examples/opcode_assignment.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bitvec Constraints Encoded Encoding Fsm Igreedy Ihybrid Iohybrid Kiss List Printf Random String Symbmin Symbolic

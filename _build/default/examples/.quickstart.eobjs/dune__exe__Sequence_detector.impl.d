@@ -1,0 +1,1 @@
+examples/sequence_detector.ml: Array Bitvec Constraints Encoded Encoding Face Fsm Iexact Ihybrid Kiss List Printf String Symbolic Sys

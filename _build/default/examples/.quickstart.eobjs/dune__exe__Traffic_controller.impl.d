@@ -1,0 +1,1 @@
+examples/traffic_controller.ml: Array Constraints Encoded Encoding Fsm Igreedy Ihybrid Iohybrid Kiss List Printf Random String Symbmin Symbolic

@@ -1,0 +1,59 @@
+(* Compare every encoding algorithm on a benchmark machine.
+
+   Run with:  dune exec examples/compare_algorithms.exe -- [machine]
+
+   Runs the whole zoo — NOVA's four algorithms, the KISS and MUSTANG
+   baselines, 1-hot and random — on one machine from the built-in suite
+   (default dk17) and prints the two-level and multilevel costs of each,
+   a single-machine slice of the paper's Tables II-VII. *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "dk17" in
+  let machine = Benchmarks.Suite.find name in
+  let n = Fsm.num_states ~m:machine in
+  let min_len = Fsm.min_code_length machine in
+  Printf.printf "machine %s: %d states (minimum code length %d)\n\n" name n min_len;
+
+  let sym = Symbolic.of_fsm machine in
+  let ics = Constraints.of_symbolic sym in
+  let groups = List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) ics in
+  let sm = Symbmin.run sym in
+
+  let iexact_entry =
+    match Iexact.iexact_code ~num_states:n ~max_work:300_000 groups with
+    | Iexact.Sat { k; codes; _ } -> [ ("iexact", Encoding.make ~nbits:k codes) ]
+    | Iexact.Exhausted -> []
+  in
+  let entries =
+    iexact_entry
+    @ [
+        ("ihybrid", (Ihybrid.ihybrid_code ~num_states:n ics).Ihybrid.encoding);
+        ("igreedy", (Igreedy.igreedy_code ~num_states:n ics).Igreedy.encoding);
+        ("iohybrid", (Iohybrid.iohybrid_code sm.Symbmin.problem).Iohybrid.encoding);
+        ("iovariant", (Iohybrid.iovariant_code sm.Symbmin.problem).Iohybrid.encoding);
+        ("kiss", Baselines.kiss_encode ~num_states:n ics);
+        ( "mustang-nt",
+          Baselines.mustang_encode machine ~flavor:Baselines.Fanout ~include_outputs:true
+            ~nbits:min_len );
+        ( "mustang-pt",
+          Baselines.mustang_encode machine ~flavor:Baselines.Fanin ~include_outputs:true
+            ~nbits:min_len );
+        ("1-hot", Encoding.one_hot n);
+        ( "random",
+          Encoding.random (Random.State.make [| 13 |]) ~num_states:n ~nbits:min_len );
+      ]
+  in
+  Printf.printf "%-11s %5s %7s %6s %7s %6s\n" "algorithm" "#bits" "#cubes" "area" "sat-IC"
+    "#lit";
+  List.iter
+    (fun (label, e) ->
+      let r = Encoded.implement machine e in
+      let sat = Constraints.num_satisfied e ics in
+      let net =
+        Multilevel.of_cover r.Encoded.cover
+          ~num_binary_vars:(machine.Fsm.num_inputs + e.Encoding.nbits)
+      in
+      let lits = Multilevel.factored_literals (Multilevel.optimize net) in
+      Printf.printf "%-11s %5d %7d %6d %4d/%-2d %6d\n" label e.Encoding.nbits
+        r.Encoded.num_cubes r.Encoded.area sat (List.length ics) lits)
+    entries

@@ -1,0 +1,1 @@
+lib/benchmarks/generator.ml: Array Fsm List Printf Random String

@@ -1,0 +1,1 @@
+lib/benchmarks/handwritten.ml: Array Fsm List Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/handwritten.mli: Fsm

@@ -1,0 +1,1 @@
+lib/benchmarks/paper_data.mli:

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Fsm Generator Handwritten Lazy List

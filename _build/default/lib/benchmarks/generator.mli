@@ -1,0 +1,24 @@
+(** Deterministic synthetic FSM generator.
+
+    The MCNC benchmark `.kiss2` files are not distributable inside this
+    repository, so the machines of the paper's Table I are regenerated
+    with matching statistics (#inputs, #outputs, #states, #rows). The
+    generator builds transition tables in which disjoint input cubes map
+    groups of present states to shared next states asserting shared
+    outputs — the combinatorial structure (state clustering under
+    multiple-valued minimization) that drives NOVA's input constraints,
+    and chained next-state reuse that gives symbolic minimization output
+    covering opportunities. *)
+
+(** [generate ~name ~num_inputs ~num_outputs ~num_states ~num_rows ~seed]
+    builds a deterministic machine with exactly the requested statistics
+    (rows are sampled when the full cube/state product exceeds
+    [num_rows]). *)
+val generate :
+  name:string ->
+  num_inputs:int ->
+  num_outputs:int ->
+  num_states:int ->
+  num_rows:int ->
+  seed:int ->
+  Fsm.t

@@ -1,0 +1,79 @@
+let state_name s = Printf.sprintf "st%d" s
+
+let shiftreg =
+  (* State = register contents b2 b1 b0; shifting in i evicts b2. *)
+  let transitions =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun i ->
+            let dst = ((s lsl 1) land 0b111) lor i in
+            let out = (s lsr 2) land 1 in
+            {
+              Fsm.input = (if i = 1 then "1" else "0");
+              src = Some s;
+              dst = Some dst;
+              output = (if out = 1 then "1" else "0");
+            })
+          [ 0; 1 ])
+      (List.init 8 (fun s -> s))
+  in
+  Fsm.create ~name:"shiftreg" ~num_inputs:1 ~num_outputs:1
+    ~states:(Array.init 8 state_name) ~transitions ~reset:0 ()
+
+let modulo12 =
+  let transitions =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun e ->
+            let dst = if e = 1 then (s + 1) mod 12 else s in
+            let out = if s = 11 && e = 1 then "1" else "0" in
+            { Fsm.input = (if e = 1 then "1" else "0"); src = Some s; dst = Some dst; output = out })
+          [ 0; 1 ])
+      (List.init 12 (fun s -> s))
+  in
+  Fsm.create ~name:"modulo12" ~num_inputs:1 ~num_outputs:1
+    ~states:(Array.init 12 state_name) ~transitions ~reset:0 ()
+
+let lion =
+  (* Two sensors; the state tracks how far an object has advanced; the
+     output asserts while the object is inside. Sensor patterns that can
+     occur drive the transitions; impossible patterns are unspecified. *)
+  let t input src dst output = { Fsm.input; src = Some src; dst = Some dst; output } in
+  let transitions =
+    [
+      t "00" 0 0 "0";
+      t "10" 0 1 "1";
+      t "10" 1 1 "1";
+      t "11" 1 2 "1";
+      t "01" 2 2 "1";
+      t "11" 2 1 "1";
+      t "00" 2 3 "1";
+      t "00" 3 0 "0";
+      t "01" 3 3 "1";
+    ]
+  in
+  Fsm.create ~name:"lion" ~num_inputs:2 ~num_outputs:1
+    ~states:(Array.init 4 state_name) ~transitions ~reset:0 ()
+
+let bbtas =
+  (* Input 00: hold; 01: increment; 10: decrement; 11: reset.
+     Outputs: (at top, at bottom). *)
+  let transitions =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun (pattern, dst) ->
+            let out = Printf.sprintf "%d%d" (if s = 5 then 1 else 0) (if s = 0 then 1 else 0) in
+            { Fsm.input = pattern; src = Some s; dst = Some dst; output = out })
+          [
+            ("00", s);
+            ("01", min 5 (s + 1));
+            ("10", max 0 (s - 1));
+            ("11", 0);
+          ])
+      (List.init 6 (fun s -> s))
+  in
+  Fsm.create ~name:"bbtas" ~num_inputs:2 ~num_outputs:2
+    ~states:(Array.init 6 state_name) ~transitions ~reset:0 ()

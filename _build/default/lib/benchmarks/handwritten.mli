@@ -1,0 +1,22 @@
+(** Hand-written semantic machines: benchmarks whose function is public
+    knowledge are reconstructed from their meaning rather than generated
+    randomly. *)
+
+(** 3-bit serial shift register: 8 states (the register contents), the
+    input bit shifts in, the evicted bit is the output. 1 input, 1
+    output, 8 states, 16 rows — the paper's [shiftreg]. *)
+val shiftreg : Fsm.t
+
+(** Modulo-12 counter with enable: advances when the input is 1, asserts
+    the output in the last state. 1 input, 1 output, 12 states, 24 rows —
+    the paper's [modulo12]. *)
+val modulo12 : Fsm.t
+
+(** A 4-state, 2-sensor occupancy counter in the style of the classic
+    [lion] benchmark: 2 inputs, 1 output, 4 states. *)
+val lion : Fsm.t
+
+(** An up/down/hold/reset counter over 6 states with limit outputs,
+    matching [bbtas]'s statistics: 2 inputs, 2 outputs, 6 states,
+    24 rows. *)
+val bbtas : Fsm.t

@@ -1,0 +1,161 @@
+type row = {
+  name : string;
+  iexact_area : int option;
+  ihybrid_area2 : int option;
+  igreedy_area2 : int option;
+  onehot_cubes : int option;
+  best_ig_ih_area : int option;
+  kiss_area : int option;
+  random_best_area : int option;
+  random_avg_area : int option;
+  iohybrid_area : int option;
+  nova_best_area : int option;
+  cappuccino_area : int option;
+  mustang_cubes : int option;
+  nova_cubes : int option;
+  mustang_lits : int option;
+  nova_lits : int option;
+  random_lits : int option;
+}
+
+let blank name =
+  {
+    name;
+    iexact_area = None;
+    ihybrid_area2 = None;
+    igreedy_area2 = None;
+    onehot_cubes = None;
+    best_ig_ih_area = None;
+    kiss_area = None;
+    random_best_area = None;
+    random_avg_area = None;
+    iohybrid_area = None;
+    nova_best_area = None;
+    cappuccino_area = None;
+    mustang_cubes = None;
+    nova_cubes = None;
+    mustang_lits = None;
+    nova_lits = None;
+    random_lits = None;
+  }
+
+(* name, iexact, ihybrid(II), igreedy(II), 1hot cubes, best III, kiss,
+   rnd best, rnd avg, iohybrid(IV), nova best(IV) *)
+let core =
+  [
+    ("dk14", Some 550, Some 520, Some 520, Some 24, Some 520, Some 550, Some 720, Some 809, Some 500, Some 500);
+    ("dk15", Some 320, Some 289, Some 340, Some 17, Some 289, Some 391, Some 357, Some 376, Some 289, Some 289);
+    ("dk16", Some 1372, Some 1188, Some 1496, Some 55, Some 1188, Some 2035, Some 1826, Some 1994, Some 1254, Some 1188);
+    ("dk17", Some 323, Some 272, Some 288, Some 20, Some 272, Some 361, Some 320, Some 368, Some 304, Some 272);
+    ("dk27", Some 104, Some 104, Some 91, Some 10, Some 91, Some 117, Some 143, Some 143, Some 104, Some 91);
+    ("dk512", Some 340, Some 306, Some 289, Some 21, Some 289, Some 414, Some 374, Some 418, Some 340, Some 289);
+    ("ex1", Some 2320, Some 2200, Some 2392, Some 44, Some 2200, Some 2436, Some 3120, Some 3317, Some 2035, Some 2035);
+    ("ex2", Some 372, Some 567, Some 651, Some 38, Some 567, Some 744, Some 798, Some 912, Some 735, Some 567);
+    ("ex3", Some 357, Some 324, Some 306, Some 21, Some 306, Some 432, Some 342, Some 387, Some 324, Some 306);
+    ("ex5", Some 315, Some 252, Some 306, Some 19, Some 252, Some 315, Some 324, Some 358, Some 270, Some 252);
+    ("ex6", Some 690, Some 675, Some 675, Some 23, Some 675, Some 792, Some 810, Some 850, Some 675, Some 675);
+    ("bbara", Some 600, Some 528, Some 550, Some 34, Some 528, Some 650, Some 616, Some 649, Some 572, Some 528);
+    ("bbsse", Some 1053, Some 972, Some 957, Some 30, Some 957, Some 1053, Some 1089, Some 1144, Some 1008, Some 957);
+    ("bbtas", Some 120, Some 120, Some 150, Some 16, Some 120, Some 195, Some 165, Some 215, Some 150, Some 120);
+    ("beecount", Some 242, Some 228, Some 190, Some 12, Some 190, Some 242, Some 285, Some 293, Some 209, Some 190);
+    ("cse", Some 1584, Some 1518, Some 1485, Some 55, Some 1485, Some 1756, Some 1947, Some 2087, Some 1485, Some 1485);
+    ("donfile", Some 874, Some 560, Some 820, Some 24, Some 560, Some 984, Some 1200, Some 1360, Some 840, Some 560);
+    ("iofsm", Some 448, Some 448, Some 448, Some 19, Some 448, Some 448, Some 560, Some 579, Some 420, Some 420);
+    ("keyb", Some 1739, Some 1488, Some 1705, Some 77, Some 1488, Some 1880, Some 3069, Some 3416, Some 1488, Some 1488);
+    ("mark1", Some 738, Some 684, Some 646, Some 19, Some 646, Some 779, Some 760, Some 782, Some 722, Some 646);
+    ("physrec", Some 1419, Some 1419, Some 1462, Some 38, Some 1419, Some 1564, Some 1677, Some 1741, Some 1462, Some 1419);
+    ("planet", Some 4437, Some 4437, Some 4386, Some 92, Some 4386, Some 4539, Some 4896, Some 5249, Some 4794, Some 4386);
+    ("s1", Some 2960, Some 2960, Some 2997, Some 92, Some 2960, Some 2997, Some 3441, Some 3733, Some 2331, Some 2331);
+    ("sand", Some 4361, Some 4462, Some 4554, Some 114, Some 4361, Some 4655, Some 4278, Some 4933, Some 4416, Some 4361);
+    ("scf", None, Some 18492, Some 18733, Some 151, Some 18492, Some 18760, Some 19650, Some 21278, Some 17947, Some 17947);
+    ("scud", Some 2698, Some 2059, Some 1984, Some 86, Some 1984, Some 2698, Some 2262, Some 2533, Some 1798, Some 1798);
+    ("shiftreg", Some 48, Some 48, Some 96, Some 9, Some 48, Some 72, Some 132, Some 132, Some 48, Some 48);
+    ("styr", Some 4094, Some 4042, Some 4171, Some 111, Some 4042, Some 4186, Some 5031, Some 5591, Some 4058, Some 4042);
+    ("tbk", None, Some 4410, Some 5190, Some 173, Some 4410, None, Some 5040, Some 6114, Some 1710, Some 1710);
+    ("train11", Some 180, Some 153, Some 187, Some 11, Some 153, Some 230, Some 221, Some 241, Some 170, Some 153);
+  ]
+
+(* Table V: iohybrid vs Cappuccino/Cream areas; a few entries are hard to
+   read in the source scan and are reconstructed from the column total. *)
+let cappuccino =
+  [
+    ("bbtas", 198); ("cse", 2205); ("lion", 66); ("lion9", 200); ("modulo12", 408);
+    ("planet", 5607); ("s1", 2924); ("sand", 6206); ("shiftreg", 210); ("styr", 6592);
+    ("tav", 231); ("train11", 230); ("dol", 136); ("dk14", 598); ("dk15", 341);
+    ("dk16", 1961); ("dk17", 321); ("dk27", 120); ("dk512", 572);
+  ]
+
+(* Table VII: MUSTANG cubes, NOVA cubes, MUSTANG literals, NOVA literals,
+   RANDOM literals. *)
+let table7 =
+  [
+    ("dk14", 32, 26, 117, 98, 164);
+    ("dk15", 19, 17, 69, 65, 73);
+    ("dk16", 71, 52, 259, 246, 402);
+    ("ex1", 55, 44, 280, 215, 313);
+    ("ex2", 36, 27, 119, 96, 162);
+    ("ex3", 19, 17, 71, 76, 83);
+    ("bbara", 25, 24, 64, 61, 84);
+    ("bbsse", 31, 29, 106, 132, 149);
+    ("bbtas", 10, 8, 25, 21, 31);
+    ("beecount", 12, 10, 45, 40, 59);
+    ("cse", 48, 45, 206, 190, 274);
+    ("donfile", 49, 28, 160, 88, 193);
+    ("keyb", 58, 48, 167, 200, 256);
+    ("mark1", 19, 17, 76, 86, 116);
+    ("physrec", 37, 33, 159, 150, 178);
+    ("planet", 97, 86, 544, 560, 576);
+    ("s1", 69, 63, 183, 265, 444);
+    ("sand", 108, 96, 535, 533, 462);
+    ("scf", 148, 137, 791, 839, 890);
+    ("scud", 83, 62, 286, 182, 222);
+    ("shiftreg", 4, 4, 2, 0, 16);
+    ("styr", 112, 94, 546, 511, 591);
+    ("tbk", 136, 57, 547, 289, 625);
+    ("train11", 10, 9, 37, 43, 44);
+  ]
+
+let rows =
+  let base = Hashtbl.create 61 in
+  List.iter
+    (fun (name, iex, ihy, igr, oh, best, kiss, rb, ra, io, nova) ->
+      Hashtbl.replace base name
+        {
+          (blank name) with
+          iexact_area = iex;
+          ihybrid_area2 = ihy;
+          igreedy_area2 = igr;
+          onehot_cubes = oh;
+          best_ig_ih_area = best;
+          kiss_area = kiss;
+          random_best_area = rb;
+          random_avg_area = ra;
+          iohybrid_area = io;
+          nova_best_area = nova;
+        })
+    core;
+  List.iter
+    (fun (name, area) ->
+      let r = Option.value ~default:(blank name) (Hashtbl.find_opt base name) in
+      Hashtbl.replace base name { r with cappuccino_area = Some area })
+    cappuccino;
+  List.iter
+    (fun (name, mc, nc, ml, nl, rl) ->
+      let r = Option.value ~default:(blank name) (Hashtbl.find_opt base name) in
+      Hashtbl.replace base name
+        {
+          r with
+          mustang_cubes = Some mc;
+          nova_cubes = Some nc;
+          mustang_lits = Some ml;
+          nova_lits = Some nl;
+          random_lits = Some rl;
+        })
+    table7;
+  base
+
+let find name = Hashtbl.find_opt rows name
+
+let total_nova_best_area = 51053
+let total_random_best_area = 65453
+let total_random_avg_area = 72002

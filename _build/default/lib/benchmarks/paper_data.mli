@@ -1,0 +1,39 @@
+(** Published results transcribed from the paper's tables, used by the
+    harness to print paper-vs-measured comparisons. [None] marks entries
+    the paper reports as "-" (algorithm failed or not run) or that are
+    illegible in the source scan. *)
+
+type row = {
+  name : string;
+  (* Table II *)
+  iexact_area : int option;
+  ihybrid_area2 : int option;  (** ihybrid columns of Table II *)
+  igreedy_area2 : int option;
+  onehot_cubes : int option;
+  (* Table III *)
+  best_ig_ih_area : int option;  (** best of ihybrid/igreedy *)
+  kiss_area : int option;
+  random_best_area : int option;
+  random_avg_area : int option;
+  (* Table IV *)
+  iohybrid_area : int option;
+  nova_best_area : int option;
+  (* Table V *)
+  cappuccino_area : int option;
+  (* Table VII *)
+  mustang_cubes : int option;
+  nova_cubes : int option;
+  mustang_lits : int option;
+  nova_lits : int option;
+  random_lits : int option;
+}
+
+(** [find name] is the published row for [name], if the machine appears
+    in any of the paper's tables. *)
+val find : string -> row option
+
+(** Paper-reported grand totals used in the summary lines: best-of-NOVA,
+    random-best and random-average areas over Table IV's 30 machines. *)
+val total_nova_best_area : int
+val total_random_best_area : int
+val total_random_avg_area : int

@@ -1,0 +1,80 @@
+type entry = { name : string; machine : Fsm.t Lazy.t; heavy : bool }
+
+let gen ?(heavy = false) name i o s rows seed =
+  {
+    name;
+    machine =
+      lazy
+        (Generator.generate ~name ~num_inputs:i ~num_outputs:o ~num_states:s ~num_rows:rows
+           ~seed);
+    heavy;
+  }
+
+let hand name m = { name; machine = lazy m; heavy = false }
+
+(* Statistics matched to the paper's Table I; tbk is downscaled from 1569
+   to 512 rows to keep the two-level minimizations tractable (see
+   DESIGN.md). *)
+let all =
+  [
+    hand "lion" Handwritten.lion;
+    gen "dk15" 3 5 4 32 1015;
+    gen "tav" 4 4 4 49 1033;
+    hand "bbtas" Handwritten.bbtas;
+    gen "beecount" 3 4 7 28 1003;
+    gen "dk14" 3 5 7 56 3014;
+    gen "dk27" 1 2 7 14 1017;
+    gen "dk17" 2 3 8 32 1016;
+    gen "dol" 2 1 8 20 1034;
+    gen "ex6" 5 8 8 34 1026;
+    gen "scud" 7 6 8 85 1030;
+    hand "shiftreg" Handwritten.shiftreg;
+    gen "ex5" 2 2 9 32 1025;
+    gen "lion9" 2 1 9 25 1035;
+    gen "bbara" 4 2 10 60 1001;
+    gen "ex3" 2 2 10 36 1024;
+    gen "iofsm" 2 4 10 30 1027;
+    gen "physrec" 5 7 11 40 1029;
+    gen "train11" 2 1 11 25 1032;
+    hand "modulo12" Handwritten.modulo12;
+    gen "dk512" 1 3 15 30 1018;
+    gen "mark1" 5 16 15 22 1028;
+    gen "bbsse" 7 7 16 56 1002;
+    gen "cse" 7 7 16 91 1005;
+    gen "ex2" 2 2 19 72 1023;
+    gen "keyb" 7 2 19 170 1007;
+    gen "ex1" 9 19 20 138 1022;
+    gen "s1" 8 6 20 107 1008;
+    gen "donfile" 2 1 24 96 1019;
+    gen "dk16" 2 3 27 108 1013;
+    gen "styr" 9 10 30 166 1011;
+    gen "sand" 11 9 32 184 1009;
+    gen ~heavy:true "tbk" 6 3 32 512 1012;
+    gen ~heavy:true "planet" 7 19 48 115 1010;
+    gen ~heavy:true "scf" 27 56 121 166 1031;
+  ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> Lazy.force e.machine
+  | None -> raise Not_found
+
+let table1 =
+  [
+    "dk15"; "bbtas"; "beecount"; "dk14"; "dk27"; "dk17"; "ex6"; "scud"; "shiftreg"; "ex5";
+    "bbara"; "ex3"; "iofsm"; "physrec"; "train11"; "dk512"; "mark1"; "bbsse"; "cse"; "ex2";
+    "keyb"; "ex1"; "s1"; "donfile"; "dk16"; "styr"; "sand"; "tbk"; "planet"; "scf";
+  ]
+
+let table5 =
+  [
+    "bbtas"; "cse"; "lion"; "lion9"; "modulo12"; "planet"; "s1"; "sand"; "shiftreg"; "styr";
+    "tav"; "train11"; "dol"; "dk14"; "dk15"; "dk16"; "dk17"; "dk27"; "dk512";
+  ]
+
+let table7 =
+  [
+    "dk14"; "dk15"; "dk16"; "ex1"; "ex2"; "ex3"; "bbara"; "bbsse"; "bbtas"; "beecount";
+    "cse"; "donfile"; "keyb"; "mark1"; "physrec"; "planet"; "s1"; "sand"; "scf"; "scud";
+    "shiftreg"; "styr"; "tbk"; "train11";
+  ]

@@ -1,0 +1,29 @@
+(** The benchmark suite: the 30 machines of the paper's Table I plus the
+    extra machines of Table V, with matching statistics. Machines whose
+    function is public knowledge are hand-written ({!Handwritten}); the
+    rest are regenerated deterministically ({!Generator}) — see DESIGN.md
+    for the substitution rationale. *)
+
+type entry = {
+  name : string;
+  machine : Fsm.t Lazy.t;
+  heavy : bool;
+      (** machines whose minimizations are expensive (scf, tbk, planet);
+          harness drivers may skip them in quick runs *)
+}
+
+(** Every machine, in the paper's increasing-number-of-states order. *)
+val all : entry list
+
+(** [find name] is the machine called [name]. Raises [Not_found]. *)
+val find : string -> Fsm.t
+
+(** The 30 names of Table I, ordered by increasing number of states (the
+    x-axis order of the paper's Tables VIII-X plots). *)
+val table1 : string list
+
+(** The 19 names of Table V (comparison with Cappuccino/Cream). *)
+val table5 : string list
+
+(** The 24 names of Table VII (comparison with MUSTANG). *)
+val table7 : string list

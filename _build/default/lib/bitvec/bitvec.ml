@@ -1,0 +1,194 @@
+(* Dense bit vectors over int-array words.
+
+   Invariant: unused bits of the last word are always zero, so [equal],
+   [compare], [is_empty] and [hash] can work word-wise without masking. *)
+
+let bits_per_word = Sys.int_size
+
+type t = { len : int; words : int array }
+
+let nwords len = if len = 0 then 0 else (len - 1) / bits_per_word + 1
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create";
+  { len; words = Array.make (nwords len) 0 }
+
+let length t = t.len
+
+let copy t = { len = t.len; words = Array.copy t.words }
+
+let check_index t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec: index out of range"
+
+let get t i =
+  check_index t i;
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let set t i =
+  check_index t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let clear t i =
+  check_index t i;
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+(* Mask selecting the valid bits of the last word. *)
+let last_mask len =
+  let r = len mod bits_per_word in
+  if r = 0 then -1 else (1 lsl r) - 1
+
+let full len =
+  let t = create len in
+  let n = Array.length t.words in
+  for w = 0 to n - 1 do
+    t.words.(w) <- -1
+  done;
+  if n > 0 then t.words.(n - 1) <- t.words.(n - 1) land last_mask len;
+  t
+
+let check_same a b =
+  if a.len <> b.len then invalid_arg "Bitvec: length mismatch"
+
+let equal a b = a.len = b.len && a.words = b.words
+
+let compare a b =
+  let c = Stdlib.compare a.len b.len in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash t = Hashtbl.hash (t.len, t.words)
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let is_full t =
+  let n = Array.length t.words in
+  if n = 0 then true
+  else
+    let rec loop w =
+      if w = n - 1 then t.words.(w) = last_mask t.len
+      else t.words.(w) = -1 && loop (w + 1)
+    in
+    loop 0
+
+let map2 f a b =
+  check_same a b;
+  { len = a.len; words = Array.init (Array.length a.words) (fun w -> f a.words.(w) b.words.(w)) }
+
+let inter a b = map2 ( land ) a b
+let union a b = map2 ( lor ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let complement t =
+  let n = Array.length t.words in
+  let words = Array.init n (fun w -> lnot t.words.(w)) in
+  if n > 0 then words.(n - 1) <- words.(n - 1) land last_mask t.len;
+  { len = t.len; words }
+
+let subset a b =
+  check_same a b;
+  let n = Array.length a.words in
+  let rec loop w = w = n || (a.words.(w) land lnot b.words.(w) = 0 && loop (w + 1)) in
+  loop 0
+
+let disjoint a b =
+  check_same a b;
+  let n = Array.length a.words in
+  let rec loop w = w = n || (a.words.(w) land b.words.(w) = 0 && loop (w + 1)) in
+  loop 0
+
+let popcount_word w0 =
+  let rec loop w acc = if w = 0 then acc else loop (w land (w - 1)) (acc + 1) in
+  loop w0 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let inter_into dst src =
+  check_same dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land src.words.(w)
+  done
+
+let union_into dst src =
+  check_same dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f acc t =
+  let r = ref acc in
+  iter (fun i -> r := f !r i) t;
+  !r
+
+let to_list t = List.rev (fold (fun acc i -> i :: acc) [] t)
+
+let of_list len l =
+  let t = create len in
+  List.iter (fun i -> set t i) l;
+  t
+
+let first_set t =
+  let n = Array.length t.words in
+  let rec loop w =
+    if w = n then None
+    else if t.words.(w) = 0 then loop (w + 1)
+    else
+      let word = t.words.(w) in
+      let rec bit b = if word land (1 lsl b) <> 0 then Some ((w * bits_per_word) + b) else bit (b + 1) in
+      bit 0
+  in
+  loop 0
+
+let range_check t lo len =
+  if lo < 0 || len < 0 || lo + len > t.len then invalid_arg "Bitvec: range out of bounds"
+
+let range_fold t lo len ~f ~init =
+  range_check t lo len;
+  let acc = ref init in
+  for i = lo to lo + len - 1 do
+    acc := f !acc (t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0)
+  done;
+  !acc
+
+let range_full t lo len = range_fold t lo len ~f:(fun acc b -> acc && b) ~init:true
+let range_empty t lo len = range_fold t lo len ~f:(fun acc b -> acc && not b) ~init:true
+let range_cardinal t lo len = range_fold t lo len ~f:(fun acc b -> if b then acc + 1 else acc) ~init:0
+
+let set_range t lo len =
+  range_check t lo len;
+  for i = lo to lo + len - 1 do
+    set t i
+  done
+
+let clear_range t lo len =
+  range_check t lo len;
+  for i = lo to lo + len - 1 do
+    clear t i
+  done
+
+let pp ppf t =
+  for i = 0 to t.len - 1 do
+    Format.pp_print_char ppf (if get t i then '1' else '0')
+  done
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_string s =
+  let t = create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '1' -> set t i
+      | '0' -> ()
+      | _ -> invalid_arg "Bitvec.of_string: expected only '0' and '1'")
+    s;
+  t

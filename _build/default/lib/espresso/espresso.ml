@@ -1,0 +1,194 @@
+open Logic
+
+let off_set ~on ~dc = Cover.complement (Cover.union on dc)
+
+(* A cube may be raised at bit [i] iff the raised cube still intersects no
+   off-set cube. Intersection with the off-set is the only validity
+   criterion since the off-set is explicit. *)
+let valid dom c off = not (List.exists (fun o -> Cube.intersects dom c o) off)
+
+(* Expand one cube to a prime: repeatedly raise bits, preferring bits set
+   in many of the not-yet-covered companion cubes so that the expansion
+   swallows as much of the rest of the cover as possible. *)
+let expand_cube dom c ~off ~companions =
+  let width = Domain.width dom in
+  let cur = Bitvec.copy c in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    (* Preference: number of companion cubes asserting each candidate bit. *)
+    let score = Array.make width 0 in
+    List.iter
+      (fun comp -> Bitvec.iter (fun i -> score.(i) <- score.(i) + 1) comp)
+      companions;
+    let candidates =
+      List.init width (fun i -> i)
+      |> List.filter (fun i -> not (Bitvec.get cur i))
+      |> List.sort (fun a b -> compare score.(b) score.(a))
+    in
+    List.iter
+      (fun i ->
+        if not (Bitvec.get cur i) then begin
+          Bitvec.set cur i;
+          if valid dom cur off then improved := true else Bitvec.clear cur i
+        end)
+      candidates
+  done;
+  cur
+
+let expand (cover : Cover.t) ~(off : Cover.t) =
+  let dom = cover.Cover.dom in
+  (* Fewest-literal (largest) cubes first: their expansions swallow the
+     most companions, shrinking the list early. *)
+  let ordered =
+    List.sort (fun a b -> compare (Cube.num_literal_bits dom a) (Cube.num_literal_bits dom b)) cover.Cover.cubes
+  in
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+        if List.exists (fun e -> Cube.contains e c) acc then loop acc rest
+        else
+          let e = expand_cube dom c ~off:off.Cover.cubes ~companions:rest in
+          let rest = List.filter (fun r -> not (Cube.contains e r)) rest in
+          loop (e :: acc) rest
+  in
+  Cover.make dom (loop [] ordered)
+
+let irredundant (cover : Cover.t) ~(dc : Cover.t) =
+  let dom = cover.Cover.dom in
+  (* Try to remove big cubes last: small, specific cubes are more likely
+     redundant leftovers of expansion. *)
+  let ordered =
+    List.sort (fun a b -> compare (Cube.num_minterms dom a) (Cube.num_minterms dom b)) cover.Cover.cubes
+  in
+  let redundant kept pending c =
+    let rest = Cover.make dom (kept @ pending @ dc.Cover.cubes) in
+    Cover.covers_cube rest c
+  in
+  let rec loop kept = function
+    | [] -> List.rev kept
+    | c :: pending -> if redundant kept pending c then loop kept pending else loop (c :: kept) pending
+  in
+  Cover.make dom (loop [] ordered)
+
+let reduce (cover : Cover.t) ~(dc : Cover.t) =
+  let dom = cover.Cover.dom in
+  (* Largest cubes first, per ESPRESSO: reducing big cubes frees room for
+     subsequent reductions. *)
+  let ordered =
+    List.sort (fun a b -> compare (Cube.num_minterms dom b) (Cube.num_minterms dom a)) cover.Cover.cubes
+  in
+  let rec loop done_ = function
+    | [] -> List.rev done_
+    | c :: pending ->
+        let rest = Cover.make dom (done_ @ pending @ dc.Cover.cubes) in
+        let unique = Cover.complement_within rest ~space:c in
+        (match Cover.supercube unique with
+        | None -> loop done_ pending (* fully covered elsewhere: drop *)
+        | Some sc -> loop (sc :: done_) pending)
+  in
+  Cover.make dom (loop [] ordered)
+
+let essential_primes (cover : Cover.t) ~(dc : Cover.t) =
+  let dom = cover.Cover.dom in
+  let essential c =
+    let rest =
+      Cover.make dom
+        (dc.Cover.cubes @ List.filter (fun d -> not (Cube.equal d c)) cover.Cover.cubes)
+    in
+    not (Cover.covers_cube rest c)
+  in
+  Cover.make dom (List.filter essential cover.Cover.cubes)
+
+let cost (c : Cover.t) = (Cover.size c, Cover.literal_cost c)
+
+let minimize_with_off ~(on : Cover.t) ~(dc : Cover.t) ~(off : Cover.t) =
+  let dom = on.Cover.dom in
+  let f = Cover.single_cube_containment on in
+  if f.Cover.cubes = [] then f
+  else begin
+    let f = expand f ~off in
+    let f = irredundant f ~dc in
+    (* Set the essential primes aside: they are in every solution, so the
+       iteration only has to improve the rest. *)
+    let ess = essential_primes f ~dc in
+    let f =
+      Cover.make dom
+        (List.filter (fun c -> not (List.exists (Cube.equal c) ess.Cover.cubes)) f.Cover.cubes)
+    in
+    let dc = Cover.union dc ess in
+    let best = ref f in
+    let continue_ = ref true in
+    let iterations = ref 0 in
+    while !continue_ && !iterations < 12 && !best.Cover.cubes <> [] do
+      incr iterations;
+      let f = reduce !best ~dc in
+      let f = expand f ~off in
+      let f = irredundant f ~dc in
+      if cost f < cost !best then best := f else continue_ := false
+    done;
+    Cover.single_cube_containment (Cover.union ess !best)
+  end
+
+let minimize ~on ~dc = minimize_with_off ~on ~dc ~off:(off_set ~on ~dc)
+
+(* --- Care-set driven variant ------------------------------------------ *)
+
+(* With dc = ¬(on ∪ off) implicit, a cube c of a valid cover (disjoint
+   from off) is redundant iff the rest covers c ∩ on; and its reduction
+   keeps only the part of c ∩ on the rest misses. *)
+
+let irredundant_care (cover : Cover.t) ~(care : Cover.t) =
+  let dom = cover.Cover.dom in
+  let ordered =
+    List.sort (fun a b -> compare (Cube.num_minterms dom a) (Cube.num_minterms dom b)) cover.Cover.cubes
+  in
+  let rec loop kept = function
+    | [] -> List.rev kept
+    | c :: pending ->
+        let rest = Cover.make dom (kept @ pending) in
+        let needed = Cover.intersect (Cover.make dom [ c ]) care in
+        if List.for_all (fun d -> Cover.covers_cube rest d) needed.Cover.cubes then loop kept pending
+        else loop (c :: kept) pending
+  in
+  Cover.make dom (loop [] ordered)
+
+let reduce_care (cover : Cover.t) ~(care : Cover.t) =
+  let dom = cover.Cover.dom in
+  let ordered =
+    List.sort (fun a b -> compare (Cube.num_minterms dom b) (Cube.num_minterms dom a)) cover.Cover.cubes
+  in
+  let rec loop done_ = function
+    | [] -> List.rev done_
+    | c :: pending ->
+        let rest = Cover.make dom (done_ @ pending) in
+        let needed = Cover.intersect (Cover.make dom [ c ]) care in
+        let unique =
+          List.concat_map
+            (fun d -> (Cover.complement_within rest ~space:d).Cover.cubes)
+            needed.Cover.cubes
+        in
+        (match Cover.supercube (Cover.make dom unique) with
+        | None -> loop done_ pending
+        | Some sc -> loop (sc :: done_) pending)
+  in
+  Cover.make dom (loop [] ordered)
+
+let minimize_care ~(on : Cover.t) ~(off : Cover.t) =
+  let f = Cover.single_cube_containment on in
+  if f.Cover.cubes = [] then f
+  else begin
+    let f = expand f ~off in
+    let f = irredundant_care f ~care:on in
+    let best = ref f in
+    let continue_ = ref true in
+    let iterations = ref 0 in
+    while !continue_ && !iterations < 12 do
+      incr iterations;
+      let f = reduce_care !best ~care:on in
+      let f = expand f ~off in
+      let f = irredundant_care f ~care:on in
+      if cost f < cost !best then best := f else continue_ := false
+    done;
+    !best
+  end

@@ -1,0 +1,53 @@
+(** A two-level multiple-valued logic minimizer in the ESPRESSO style.
+
+    Implements the classic iteration
+    {[ EXPAND ; IRREDUNDANT ; loop (REDUCE ; EXPAND ; IRREDUNDANT) ]}
+    over covers with an explicit don't-care set. Multiple-output functions
+    are handled by the characteristic-function encoding of {!Logic.Cover}
+    (the output is the last multiple-valued variable of the domain), which
+    is exactly ESPRESSO-MV's positional treatment of the output part.
+
+    This is the substrate the NOVA paper calls ESPRESSO / ESPRESSO-MV. *)
+
+open Logic
+
+(** [off_set ~on ~dc] is the complement of [on OR dc]. *)
+val off_set : on:Cover.t -> dc:Cover.t -> Cover.t
+
+(** [expand cover ~off] makes every cube prime against the off-set [off]
+    and removes cubes covered by the expansion of another, returning a
+    prime cover of the same function (assuming [cover] was disjoint from
+    [off]). *)
+val expand : Cover.t -> off:Cover.t -> Cover.t
+
+(** [irredundant cover ~dc] greedily removes cubes covered by the rest of
+    the cover plus the don't-care set. *)
+val irredundant : Cover.t -> dc:Cover.t -> Cover.t
+
+(** [reduce cover ~dc] replaces each cube by the smallest cube covering
+    the minterms no other cube (nor [dc]) covers, dropping cubes that
+    become empty. *)
+val reduce : Cover.t -> dc:Cover.t -> Cover.t
+
+(** [essential_primes cover ~dc] returns the cubes of [cover] covering
+    some minterm no other cube (nor [dc]) covers. Essential primes belong
+    to every prime irredundant cover, so the minimization loop can set
+    them aside (classic ESPRESSO ESSENTIAL_PRIMES step). *)
+val essential_primes : Cover.t -> dc:Cover.t -> Cover.t
+
+(** [minimize ~on ~dc] is a minimal cover [g] with
+    [on <= g <= on OR dc] (set inclusion of the functions). *)
+val minimize : on:Cover.t -> dc:Cover.t -> Cover.t
+
+(** [minimize_with_off ~on ~dc ~off] is [minimize] with a precomputed
+    off-set (must equal the complement of [on OR dc] on pain of an
+    incorrect result). *)
+val minimize_with_off : on:Cover.t -> dc:Cover.t -> off:Cover.t -> Cover.t
+
+(** [minimize_care ~on ~off] minimizes when only the on-set and off-set
+    are explicit and the don't-care set is implicitly everything else:
+    the result covers [on], avoids [off], and may use any other minterm.
+    Avoids computing the (possibly huge) complement of [on OR off] — the
+    work-horse of the per-next-state minimizations inside symbolic
+    minimization (Section 6.1). *)
+val minimize_care : on:Cover.t -> off:Cover.t -> Cover.t

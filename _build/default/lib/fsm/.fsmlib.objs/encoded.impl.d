@@ -1,0 +1,1 @@
+lib/fsm/encoded.ml: Array Bitvec Cover Domain Encoding Espresso Fsm List Logic String

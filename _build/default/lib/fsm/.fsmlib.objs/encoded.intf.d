@@ -1,0 +1,1 @@
+lib/fsm/encoded.mli: Cover Domain Encoding Fsm Logic

@@ -1,0 +1,1 @@
+lib/fsm/encoding.ml: Array Format Hashtbl List Random String Sys

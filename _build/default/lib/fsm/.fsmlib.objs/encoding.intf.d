@@ -1,0 +1,1 @@
+lib/fsm/encoding.mli: Format Random

@@ -1,0 +1,1 @@
+lib/fsm/export.ml: Array Format Fsm List Multilevel Printf String

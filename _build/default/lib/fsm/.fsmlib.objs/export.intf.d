@@ -1,0 +1,1 @@
+lib/fsm/export.mli: Format Fsm Multilevel

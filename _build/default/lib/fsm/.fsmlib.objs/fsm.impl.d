@@ -1,0 +1,1 @@
+lib/fsm/fsm.ml: Array Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/fsm/kiss.ml: Array Format Fsm Hashtbl List Printf String

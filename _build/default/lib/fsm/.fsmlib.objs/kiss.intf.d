@@ -1,0 +1,1 @@
+lib/fsm/kiss.mli: Format Fsm

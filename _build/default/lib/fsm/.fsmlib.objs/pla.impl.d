@@ -1,0 +1,1 @@
+lib/fsm/pla.ml: Array Bitvec Cover Domain Format List Logic Printf String

@@ -1,0 +1,1 @@
+lib/fsm/pla.mli: Cover Format Logic

@@ -1,0 +1,1 @@
+lib/fsm/reduce_states.ml: Array Fsm Hashtbl List Marshal Option String

@@ -1,0 +1,1 @@
+lib/fsm/reduce_states.mli: Fsm

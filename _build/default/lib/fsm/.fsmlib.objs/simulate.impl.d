@@ -1,0 +1,1 @@
+lib/fsm/simulate.ml: Array Encoded Encoding Fsm List Option Printf Random String

@@ -1,0 +1,1 @@
+lib/fsm/simulate.mli: Encoding Fsm Random

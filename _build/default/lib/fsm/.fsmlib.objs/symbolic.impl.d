@@ -1,0 +1,1 @@
+lib/fsm/symbolic.ml: Array Bitvec Cover Domain Espresso Fsm List Logic String

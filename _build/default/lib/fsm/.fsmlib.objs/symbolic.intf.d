@@ -1,0 +1,1 @@
+lib/fsm/symbolic.mli: Bitvec Cover Cube Domain Fsm Logic

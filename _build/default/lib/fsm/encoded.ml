@@ -1,0 +1,123 @@
+open Logic
+
+type t = {
+  machine : Fsm.t;
+  encoding : Encoding.t;
+  dom : Domain.t;
+  on : Cover.t;
+  dc : Cover.t;
+}
+
+let build (m : Fsm.t) (e : Encoding.t) =
+  if Encoding.num_states e <> Array.length m.Fsm.states then
+    invalid_arg "Encoded.build: encoding size mismatch";
+  let ni = m.Fsm.num_inputs and no = m.Fsm.num_outputs in
+  let nb = e.Encoding.nbits in
+  let sizes = Array.append (Array.make (ni + nb) 2) [| nb + no |] in
+  let dom = Domain.create sizes in
+  let out_off = Domain.offset dom (ni + nb) in
+  let out_sz = nb + no in
+  (* Base cube of a row: inputs + present-state code bits, empty outputs. *)
+  let row_base (tr : Fsm.transition) =
+    let c = Bitvec.full (Domain.width dom) in
+    String.iteri
+      (fun v ch ->
+        match ch with
+        | '0' -> Bitvec.clear c (Domain.offset dom v + 1)
+        | '1' -> Bitvec.clear c (Domain.offset dom v + 0)
+        | '-' -> ()
+        | _ -> assert false)
+      tr.Fsm.input;
+    (match tr.Fsm.src with
+    | None -> ()
+    | Some s ->
+        for b = 0 to nb - 1 do
+          let v = ni + b in
+          if Encoding.bit e s b = 1 then Bitvec.clear c (Domain.offset dom v + 0)
+          else Bitvec.clear c (Domain.offset dom v + 1)
+        done);
+    Bitvec.clear_range c out_off out_sz;
+    c
+  in
+  let on = ref [] and dc = ref [] in
+  List.iter
+    (fun (tr : Fsm.transition) ->
+      let base = row_base tr in
+      let on_cols = ref [] in
+      (match tr.Fsm.dst with
+      | None -> ()
+      | Some s ->
+          for b = 0 to nb - 1 do
+            if Encoding.bit e s b = 1 then on_cols := b :: !on_cols
+          done);
+      String.iteri (fun j ch -> if ch = '1' then on_cols := (nb + j) :: !on_cols) tr.Fsm.output;
+      if !on_cols <> [] then begin
+        let c = Bitvec.copy base in
+        List.iter (fun col -> Bitvec.set c (out_off + col)) !on_cols;
+        on := c :: !on
+      end;
+      let dc_cols = ref [] in
+      (match tr.Fsm.dst with
+      | None -> for b = 0 to nb - 1 do dc_cols := b :: !dc_cols done
+      | Some _ -> ());
+      String.iteri (fun j ch -> if ch = '-' then dc_cols := (nb + j) :: !dc_cols) tr.Fsm.output;
+      if !dc_cols <> [] then begin
+        let c = Bitvec.copy base in
+        List.iter (fun col -> Bitvec.set c (out_off + col)) !dc_cols;
+        dc := c :: !dc
+      end)
+    m.Fsm.transitions;
+  (* Everything matched by no row — including unused codes — is free. *)
+  let projections =
+    List.map
+      (fun tr ->
+        let c = row_base tr in
+        Bitvec.set_range c out_off out_sz;
+        c)
+      m.Fsm.transitions
+  in
+  let unspecified = Cover.complement (Cover.make dom projections) in
+  let on = Cover.make dom (List.rev !on) in
+  let dc = Cover.union (Cover.make dom (List.rev !dc)) unspecified in
+  { machine = m; encoding = e; dom; on; dc }
+
+let minimize t = Espresso.minimize ~on:t.on ~dc:t.dc
+
+let area ~machine ~encoding ~num_cubes =
+  let ni = machine.Fsm.num_inputs and no = machine.Fsm.num_outputs in
+  let nb = encoding.Encoding.nbits in
+  ((2 * (ni + nb)) + nb + no) * num_cubes
+
+type result = { cover : Cover.t; num_cubes : int; area : int }
+
+let implement m e =
+  let t = build m e in
+  let cover = minimize t in
+  let num_cubes = Cover.size cover in
+  { cover; num_cubes; area = area ~machine:m ~encoding:e ~num_cubes }
+
+let eval t cover ~input ~code =
+  let m = t.machine in
+  let ni = m.Fsm.num_inputs and no = m.Fsm.num_outputs in
+  let nb = t.encoding.Encoding.nbits in
+  if String.length input <> ni then invalid_arg "Encoded.eval: input width mismatch";
+  let values = Array.make (ni + nb + 1) 0 in
+  String.iteri
+    (fun v ch ->
+      match ch with
+      | '0' -> values.(v) <- 0
+      | '1' -> values.(v) <- 1
+      | _ -> invalid_arg "Encoded.eval: input must be fully specified")
+    input;
+  for b = 0 to nb - 1 do
+    values.(ni + b) <- (code lsr b) land 1
+  done;
+  let column o =
+    values.(ni + nb) <- o;
+    Cover.contains_minterm cover values
+  in
+  let next = ref 0 in
+  for b = 0 to nb - 1 do
+    if column b then next := !next lor (1 lsl b)
+  done;
+  (!next, Array.init no (fun j -> column (nb + j)))

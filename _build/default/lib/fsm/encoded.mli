@@ -1,0 +1,40 @@
+(** Encoded (binary) PLA implementation of an FSM under a state encoding.
+
+    The domain has one binary variable per primary input, one per state
+    bit, and a final multiple-valued output variable whose parts are the
+    next-state bits followed by the binary outputs — the standard
+    multiple-output PLA personality. The paper's area model is
+
+    {v area = (2*(#inputs + #bits) + #bits + #outputs) * #cubes v} *)
+
+open Logic
+
+type t = {
+  machine : Fsm.t;
+  encoding : Encoding.t;
+  dom : Domain.t;
+  on : Cover.t;
+  dc : Cover.t;
+}
+
+(** [build m e] encodes the transition table of [m] with [e]. The
+    don't-care set contains the region matched by no row (including
+    unused state codes), rows with unspecified next states, and ['-']
+    output entries. *)
+val build : Fsm.t -> Encoding.t -> t
+
+(** [minimize t] is the ESPRESSO-minimized encoded cover. *)
+val minimize : t -> Cover.t
+
+(** [area ~machine ~encoding ~num_cubes] is the paper's PLA area model. *)
+val area : machine:Fsm.t -> encoding:Encoding.t -> num_cubes:int -> int
+
+type result = { cover : Cover.t; num_cubes : int; area : int }
+
+(** [implement m e] is [build] + [minimize] + the area figures. *)
+val implement : Fsm.t -> Encoding.t -> result
+
+(** [eval t cover ~input ~code] evaluates the minimized [cover] at the
+    fully specified [input] pattern and present-state [code], returning
+    [(next_code, outputs)] where [outputs.(j)] is output [j]. *)
+val eval : t -> Cover.t -> input:string -> code:int -> int * bool array

@@ -1,0 +1,57 @@
+let dot ppf (m : Fsm.t) =
+  Format.fprintf ppf "digraph %s {@." m.Fsm.name;
+  Format.fprintf ppf "  rankdir=LR;@.";
+  Array.iteri
+    (fun s name ->
+      let shape = if m.Fsm.reset = Some s then "doublecircle" else "circle" in
+      Format.fprintf ppf "  %s [shape=%s];@." name shape)
+    m.Fsm.states;
+  List.iter
+    (fun (tr : Fsm.transition) ->
+      let src = match tr.Fsm.src with Some s -> m.Fsm.states.(s) | None -> "ANY" in
+      let dst = match tr.Fsm.dst with Some s -> m.Fsm.states.(s) | None -> "UNSPEC" in
+      Format.fprintf ppf "  %s -> %s [label=\"%s/%s\"];@." src dst tr.Fsm.input tr.Fsm.output)
+    m.Fsm.transitions;
+  Format.fprintf ppf "}@."
+
+let dot_string m = Format.asprintf "%a" dot m
+
+let blif ppf (net : Multilevel.network) ~name ~num_inputs =
+  let var_name v = if v < num_inputs then Printf.sprintf "x%d" v else Printf.sprintf "k%d" v in
+  let outputs =
+    List.filter
+      (fun (n : Multilevel.node) -> String.length n.Multilevel.name > 0 && n.Multilevel.name.[0] = 'o')
+      net.Multilevel.nodes
+  in
+  Format.fprintf ppf ".model %s@." name;
+  Format.fprintf ppf ".inputs%t@." (fun ppf ->
+      for v = 0 to num_inputs - 1 do
+        Format.fprintf ppf " x%d" v
+      done);
+  Format.fprintf ppf ".outputs%t@." (fun ppf ->
+      List.iter (fun (n : Multilevel.node) -> Format.fprintf ppf " %s" n.Multilevel.name) outputs);
+  List.iter
+    (fun (n : Multilevel.node) ->
+      (* Support of the node, in ascending variable order. *)
+      let support =
+        List.concat_map (List.map (fun l -> l / 2)) n.Multilevel.products
+        |> List.sort_uniq compare
+      in
+      Format.fprintf ppf ".names%t %s@."
+        (fun ppf -> List.iter (fun v -> Format.fprintf ppf " %s" (var_name v)) support)
+        n.Multilevel.name;
+      List.iter
+        (fun product ->
+          let cell v =
+            if List.mem (2 * v) product then '1'
+            else if List.mem ((2 * v) + 1) product then '0'
+            else '-'
+          in
+          let row = String.concat "" (List.map (fun v -> String.make 1 (cell v)) support) in
+          Format.fprintf ppf "%s 1@." row)
+        n.Multilevel.products)
+    net.Multilevel.nodes;
+  Format.fprintf ppf ".end@."
+
+let blif_string net ~name ~num_inputs =
+  Format.asprintf "%a" (fun ppf () -> blif ppf net ~name ~num_inputs) ()

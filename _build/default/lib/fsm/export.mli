@@ -1,0 +1,20 @@
+(** Export helpers: Graphviz for machines, BLIF for multilevel networks.
+
+    These are convenience surfaces for inspecting results with standard
+    tools; nothing in the flow depends on them. *)
+
+(** [dot ppf m] writes [m] as a Graphviz digraph: one node per state
+    (reset drawn doubled), one edge per row labelled [input/output]. *)
+val dot : Format.formatter -> Fsm.t -> unit
+
+(** [dot_string m] is [dot] to a string. *)
+val dot_string : Fsm.t -> string
+
+(** [blif ppf net ~name ~num_inputs] writes a {!Multilevel.network} in
+    Berkeley BLIF: inputs [x0..], one [.names] block per node. Nodes
+    named [oN] become outputs; extracted nodes ([kN]) become
+    intermediate signals. *)
+val blif : Format.formatter -> Multilevel.network -> name:string -> num_inputs:int -> unit
+
+(** [blif_string net ~name ~num_inputs] is [blif] to a string. *)
+val blif_string : Multilevel.network -> name:string -> num_inputs:int -> string

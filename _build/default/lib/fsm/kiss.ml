@@ -1,0 +1,100 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse ~name text =
+  let lines = String.split_on_char '\n' text in
+  let num_inputs = ref None
+  and num_outputs = ref None
+  and declared_products = ref None
+  and declared_states = ref None
+  and reset_name = ref None in
+  let states = ref [] (* reversed order of first appearance *)
+  and state_ids = Hashtbl.create 17
+  and rows = ref [] in
+  let intern s =
+    match Hashtbl.find_opt state_ids s with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length state_ids in
+        Hashtbl.add state_ids s i;
+        states := s :: !states;
+        i
+  in
+  let parse_int what w =
+    match int_of_string_opt w with Some i -> i | None -> fail "bad %s count %S" what w
+  in
+  List.iter
+    (fun raw ->
+      let line =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      match split_words line with
+      | [] -> ()
+      | ".i" :: w :: _ -> num_inputs := Some (parse_int "input" w)
+      | ".o" :: w :: _ -> num_outputs := Some (parse_int "output" w)
+      | ".p" :: w :: _ -> declared_products := Some (parse_int "product" w)
+      | ".s" :: w :: _ -> declared_states := Some (parse_int "state" w)
+      | ".r" :: w :: _ -> reset_name := Some w
+      | ".e" :: _ | ".end" :: _ -> ()
+      | [ input; present; next; output ] ->
+          let src = if present = "*" then None else Some (intern present) in
+          let dst = if next = "-" then None else Some (intern next) in
+          rows := { Fsm.input; src; dst; output } :: !rows
+      | ws -> fail "unparseable line %S" (String.concat " " ws))
+    lines;
+  let num_inputs =
+    match !num_inputs with Some i -> i | None -> fail "missing .i declaration"
+  in
+  let num_outputs =
+    match !num_outputs with Some o -> o | None -> fail "missing .o declaration"
+  in
+  let rows = List.rev !rows in
+  (match !declared_products with
+  | Some p when p <> List.length rows ->
+      fail ".p declares %d rows but %d were given" p (List.length rows)
+  | Some _ | None -> ());
+  (match !declared_states with
+  | Some s when s <> Hashtbl.length state_ids ->
+      fail ".s declares %d states but %d distinct names appear" s (Hashtbl.length state_ids)
+  | Some _ | None -> ());
+  let states = Array.of_list (List.rev !states) in
+  if Array.length states = 0 then fail "no states in table";
+  let reset =
+    match !reset_name with
+    | None -> None
+    | Some r -> (
+        match Hashtbl.find_opt state_ids r with
+        | Some i -> Some i
+        | None -> fail "reset state %S does not appear in the table" r)
+  in
+  try
+    match reset with
+    | Some r -> Fsm.create ~name ~num_inputs ~num_outputs ~states ~transitions:rows ~reset:r ()
+    | None -> Fsm.create ~name ~num_inputs ~num_outputs ~states ~transitions:rows ()
+  with Invalid_argument msg -> fail "%s" msg
+
+let print ppf (m : Fsm.t) =
+  Format.fprintf ppf ".i %d@." m.Fsm.num_inputs;
+  Format.fprintf ppf ".o %d@." m.Fsm.num_outputs;
+  Format.fprintf ppf ".p %d@." (List.length m.Fsm.transitions);
+  Format.fprintf ppf ".s %d@." (Array.length m.Fsm.states);
+  (match m.Fsm.reset with
+  | Some r -> Format.fprintf ppf ".r %s@." m.Fsm.states.(r)
+  | None -> ());
+  List.iter
+    (fun tr ->
+      let pres = match tr.Fsm.src with None -> "*" | Some s -> m.Fsm.states.(s) in
+      let nxt = match tr.Fsm.dst with None -> "-" | Some s -> m.Fsm.states.(s) in
+      Format.fprintf ppf "%s %s %s %s@." tr.Fsm.input pres nxt tr.Fsm.output)
+    m.Fsm.transitions;
+  Format.fprintf ppf ".e@."
+
+let to_string m = Format.asprintf "%a" print m

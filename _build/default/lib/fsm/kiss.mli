@@ -1,0 +1,31 @@
+(** KISS2 state-transition-table format.
+
+    The format read and written here is the MCNC benchmark format the
+    paper's flow consumes:
+
+    {v
+    .i 2
+    .o 1
+    .s 4
+    .p 8
+    .r st0
+    01 st0 st1 0
+    ...
+    .e
+    v}
+
+    Present state ['*'] (any state) and next state ['-'] (unspecified) are
+    accepted. *)
+
+exception Parse_error of string
+
+(** [parse ~name text] parses the KISS2 [text]. State names are collected
+    in order of first appearance when no [.s]-declared order is implied.
+    Raises [Parse_error] on malformed input. *)
+val parse : name:string -> string -> Fsm.t
+
+(** [print ppf m] writes [m] back in KISS2 syntax. *)
+val print : Format.formatter -> Fsm.t -> unit
+
+(** [to_string m] is [print] to a string. *)
+val to_string : Fsm.t -> string

@@ -1,0 +1,111 @@
+open Logic
+
+let print ppf (cover : Cover.t) ~num_binary_vars =
+  let dom = cover.Cover.dom in
+  if Domain.num_vars dom <> num_binary_vars + 1 then
+    invalid_arg "Pla.print: variable layout mismatch";
+  let out_var = num_binary_vars in
+  let out_off = Domain.offset dom out_var in
+  let out_sz = Domain.size dom out_var in
+  Format.fprintf ppf ".i %d@." num_binary_vars;
+  Format.fprintf ppf ".o %d@." out_sz;
+  Format.fprintf ppf ".p %d@." (Cover.size cover);
+  List.iter
+    (fun c ->
+      for v = 0 to num_binary_vars - 1 do
+        let off = Domain.offset dom v in
+        let ch =
+          match (Bitvec.get c off, Bitvec.get c (off + 1)) with
+          | true, true -> '-'
+          | false, true -> '1'
+          | true, false -> '0'
+          | false, false -> '~'
+        in
+        Format.pp_print_char ppf ch
+      done;
+      Format.pp_print_char ppf ' ';
+      for o = 0 to out_sz - 1 do
+        Format.pp_print_char ppf (if Bitvec.get c (out_off + o) then '1' else '0')
+      done;
+      Format.pp_print_newline ppf ())
+    cover.Cover.cubes;
+  Format.fprintf ppf ".e@."
+
+let to_string cover ~num_binary_vars =
+  Format.asprintf "%a" (fun ppf () -> print ppf cover ~num_binary_vars) ()
+
+exception Parse_error of string
+
+type parsed = { num_inputs : int; num_outputs : int; on : Cover.t; dc : Cover.t }
+
+let parse text =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt in
+  let lines = String.split_on_char '\n' text in
+  let ni = ref None and no = ref None in
+  let rows = ref [] in
+  List.iter
+    (fun raw ->
+      let line =
+        match String.index_opt raw '#' with Some i -> String.sub raw 0 i | None -> raw
+      in
+      let words =
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> ()
+      | ".i" :: w :: _ -> ni := int_of_string_opt w
+      | ".o" :: w :: _ -> no := int_of_string_opt w
+      | ".p" :: _ | ".e" :: _ | ".end" :: _ | ".type" :: _ | ".ilb" :: _ | ".ob" :: _ -> ()
+      | [ input; output ] -> rows := (input, output) :: !rows
+      | [ word ] -> (
+          (* inputs and outputs may be written without a separator *)
+          match (!ni, !no) with
+          | Some i, Some o when String.length word = i + o ->
+              rows := (String.sub word 0 i, String.sub word i o) :: !rows
+          | Some _, Some _ | None, _ | _, None -> fail "unparseable cube line %S" word)
+      | w -> fail "unparseable line %S" (String.concat " " w))
+    lines;
+  let num_inputs = match !ni with Some i -> i | None -> fail "missing .i" in
+  let num_outputs = match !no with Some o -> o | None -> fail "missing .o" in
+  if num_outputs < 1 then fail "need at least one output";
+  let dom = Domain.create (Array.append (Array.make num_inputs 2) [| num_outputs |]) in
+  let out_off = Domain.offset dom num_inputs in
+  let cube_of input chars =
+    if String.length input <> num_inputs then fail "input width of %S" input;
+    let c = Bitvec.full (Domain.width dom) in
+    String.iteri
+      (fun v ch ->
+        match ch with
+        | '0' -> Bitvec.clear c (Domain.offset dom v + 1)
+        | '1' -> Bitvec.clear c (Domain.offset dom v + 0)
+        | '-' | '2' -> ()
+        | bad -> fail "bad input character %C" bad)
+      input;
+    Bitvec.clear_range c out_off num_outputs;
+    let any = ref false in
+    List.iter
+      (fun o ->
+        Bitvec.set c (out_off + o);
+        any := true)
+      chars;
+    if !any then Some c else None
+  in
+  let on = ref [] and dc = ref [] in
+  List.iter
+    (fun (input, output) ->
+      if String.length output <> num_outputs then fail "output width of %S" output;
+      let ons = ref [] and dcs = ref [] in
+      String.iteri
+        (fun o ch ->
+          match ch with
+          | '1' | '4' -> ons := o :: !ons
+          | '-' | '2' | '~' -> dcs := o :: !dcs
+          | '0' -> ()
+          | bad -> fail "bad output character %C" bad)
+        output;
+      (match cube_of input !ons with Some c -> on := c :: !on | None -> ());
+      match cube_of input !dcs with Some c -> dc := c :: !dc | None -> ())
+    (List.rev !rows);
+  { num_inputs; num_outputs; on = Cover.make dom !on; dc = Cover.make dom !dc }

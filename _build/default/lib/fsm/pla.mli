@@ -1,0 +1,26 @@
+(** Printing encoded covers in Berkeley PLA (espresso) format. *)
+
+open Logic
+
+(** [print ppf cover ~num_binary_vars] writes the cover as a [.pla]
+    personality: one line per cube, the binary input variables as
+    [0/1/-], the parts of the final (output) variable as [0/1]. *)
+val print : Format.formatter -> Cover.t -> num_binary_vars:int -> unit
+
+(** [to_string cover ~num_binary_vars] is [print] to a string. *)
+val to_string : Cover.t -> num_binary_vars:int -> string
+
+exception Parse_error of string
+
+type parsed = {
+  num_inputs : int;
+  num_outputs : int;
+  on : Cover.t;  (** cubes asserting a ['1'] output column *)
+  dc : Cover.t;  (** cubes asserting a ['-'] (or ['2']) output column *)
+}
+
+(** [parse text] reads an espresso-format PLA (fd type): [.i]/[.o]
+    declarations then one line per cube, input part over [0/1/-], output
+    part over [0/1/-/2] ([1] on-set, [-]/[2] don't-care, [0] nothing).
+    Raises [Parse_error] on malformed input. *)
+val parse : string -> parsed

@@ -1,0 +1,335 @@
+(* State minimization over explicit input minterms. The enumeration of
+   the input space bounds this module to machines with a moderate number
+   of inputs, which is what state minimization is used for in practice
+   (controller tables). *)
+
+let max_inputs = 12
+
+let input_minterms (m : Fsm.t) =
+  if m.Fsm.num_inputs > max_inputs then
+    invalid_arg "Reduce_states: too many inputs to enumerate";
+  List.init (1 lsl m.Fsm.num_inputs) (fun v ->
+      String.init m.Fsm.num_inputs (fun i -> if v land (1 lsl i) <> 0 then '1' else '0'))
+
+(* The behaviour of a state under one input: (next, output) with None for
+   an unspecified transition. *)
+let behaviour m s input = Fsm.next m ~input ~src:s
+
+let remove_unreachable (m : Fsm.t) =
+  let n = Array.length m.Fsm.states in
+  let start = Option.value m.Fsm.reset ~default:0 in
+  let reached = Array.make n false in
+  let rec visit s =
+    if not reached.(s) then begin
+      reached.(s) <- true;
+      List.iter
+        (fun (tr : Fsm.transition) ->
+          match (tr.Fsm.src, tr.Fsm.dst) with
+          | (Some src, Some d) when src = s -> visit d
+          | (None, Some d) -> visit d (* any-state rows fire everywhere *)
+          | (Some _ | None), (Some _ | None) -> ())
+        m.Fsm.transitions
+    end
+  in
+  visit start;
+  if Array.for_all (fun r -> r) reached then m
+  else begin
+    let keep = List.filter (fun s -> reached.(s)) (List.init n (fun s -> s)) in
+    let remap = Hashtbl.create n in
+    List.iteri (fun i s -> Hashtbl.add remap s i) keep;
+    let states = Array.of_list (List.map (fun s -> m.Fsm.states.(s)) keep) in
+    let transitions =
+      List.filter_map
+        (fun (tr : Fsm.transition) ->
+          match tr.Fsm.src with
+          | Some s when not reached.(s) -> None
+          | src ->
+              Some
+                {
+                  tr with
+                  Fsm.src = Option.map (Hashtbl.find remap) src;
+                  dst = Option.map (Hashtbl.find remap) tr.Fsm.dst;
+                })
+        m.Fsm.transitions
+    in
+    let reset = Hashtbl.find remap start in
+    Fsm.create ~name:m.Fsm.name ~num_inputs:m.Fsm.num_inputs ~num_outputs:m.Fsm.num_outputs
+      ~states ~transitions ~reset ()
+  end
+
+(* --- completely specified machines: partition refinement --------------- *)
+
+let equivalent_states (m : Fsm.t) =
+  let n = Array.length m.Fsm.states in
+  let inputs = input_minterms m in
+  (* class_of.(s) is s's current class id. Initial split: output signature. *)
+  let signature class_of s =
+    List.map
+      (fun input ->
+        match behaviour m s input with
+        | None -> None
+        | Some (dst, out) -> Some ((match dst with None -> -1 | Some d -> class_of.(d)), out))
+      inputs
+  in
+  let class_of = ref (Array.make n 0) in
+  let initial = Array.make n 0 in
+  let tbl = Hashtbl.create 17 in
+  for s = 0 to n - 1 do
+    let key =
+      List.map
+        (fun input ->
+          match behaviour m s input with None -> None | Some (_, out) -> Some out)
+        inputs
+    in
+    let key = Marshal.to_string key [] in
+    (match Hashtbl.find_opt tbl key with
+    | Some c -> initial.(s) <- c
+    | None ->
+        let c = Hashtbl.length tbl in
+        Hashtbl.add tbl key c;
+        initial.(s) <- c)
+  done;
+  class_of := initial;
+  let stable = ref false in
+  while not !stable do
+    let tbl = Hashtbl.create 17 in
+    let next = Array.make n 0 in
+    for s = 0 to n - 1 do
+      let key = Marshal.to_string ((!class_of).(s), signature !class_of s) [] in
+      match Hashtbl.find_opt tbl key with
+      | Some c -> next.(s) <- c
+      | None ->
+          let c = Hashtbl.length tbl in
+          Hashtbl.add tbl key c;
+          next.(s) <- c
+    done;
+    stable := next = !class_of;
+    class_of := next
+  done;
+  let classes = Hashtbl.create 17 in
+  Array.iteri
+    (fun s c ->
+      Hashtbl.replace classes c (s :: Option.value ~default:[] (Hashtbl.find_opt classes c)))
+    !class_of;
+  Hashtbl.fold (fun _ members acc -> List.sort compare members :: acc) classes []
+  |> List.sort compare
+
+let merge_by_classes (m : Fsm.t) classes =
+  let n = Array.length m.Fsm.states in
+  let rep_of = Array.make n 0 and class_id = Array.make n 0 in
+  List.iteri
+    (fun ci members ->
+      let rep = List.fold_left min max_int members in
+      List.iter
+        (fun s ->
+          rep_of.(s) <- rep;
+          class_id.(s) <- ci)
+        members)
+    classes;
+  let keep = List.map (fun members -> List.fold_left min max_int members) classes in
+  let keep = List.sort compare keep in
+  let new_index = Hashtbl.create 17 in
+  List.iteri (fun i s -> Hashtbl.add new_index s i) keep;
+  let remap s = Hashtbl.find new_index rep_of.(s) in
+  let states = Array.of_list (List.map (fun s -> m.Fsm.states.(s)) keep) in
+  (* One row per (kept class, row of its representative). Rows of merged
+     non-representative states are dropped; for incompletely specified
+     merging the caller builds rows differently. *)
+  let transitions =
+    List.filter_map
+      (fun (tr : Fsm.transition) ->
+        match tr.Fsm.src with
+        | Some s when rep_of.(s) = s ->
+            Some
+              {
+                tr with
+                Fsm.src = Some (remap s);
+                dst = Option.map remap tr.Fsm.dst;
+              }
+        | Some _ -> None
+        | None -> Some { tr with Fsm.dst = Option.map remap tr.Fsm.dst })
+      m.Fsm.transitions
+  in
+  let reset = Option.map remap m.Fsm.reset in
+  match reset with
+  | Some r ->
+      Fsm.create ~name:m.Fsm.name ~num_inputs:m.Fsm.num_inputs ~num_outputs:m.Fsm.num_outputs
+        ~states ~transitions ~reset:r ()
+  | None ->
+      Fsm.create ~name:m.Fsm.name ~num_inputs:m.Fsm.num_inputs ~num_outputs:m.Fsm.num_outputs
+        ~states ~transitions ()
+
+let reduce m = merge_by_classes m (equivalent_states m)
+
+(* --- incompletely specified machines: pair chart + greedy cliques ------ *)
+
+let outputs_clash a b =
+  let clash = ref false in
+  String.iteri
+    (fun j ca ->
+      let cb = b.[j] in
+      if ca <> '-' && cb <> '-' && ca <> cb then clash := true)
+    a;
+  !clash
+
+let compatible_matrix (m : Fsm.t) =
+  let n = Array.length m.Fsm.states in
+  let inputs = input_minterms m in
+  let incompatible = Array.make_matrix n n false in
+  (* Seed: specified outputs clash. *)
+  for s = 0 to n - 1 do
+    for t = s + 1 to n - 1 do
+      List.iter
+        (fun input ->
+          match (behaviour m s input, behaviour m t input) with
+          | Some (_, oa), Some (_, ob) when outputs_clash oa ob ->
+              incompatible.(s).(t) <- true;
+              incompatible.(t).(s) <- true
+          | Some _, Some _ | Some _, None | None, Some _ | None, None -> ())
+        inputs
+    done
+  done;
+  (* Propagate: incompatible successors poison the pair. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = 0 to n - 1 do
+      for t = s + 1 to n - 1 do
+        if not incompatible.(s).(t) then
+          List.iter
+            (fun input ->
+              match (behaviour m s input, behaviour m t input) with
+              | Some (Some ds, _), Some (Some dt, _)
+                when ds <> dt && incompatible.(min ds dt).(max ds dt) ->
+                  incompatible.(s).(t) <- true;
+                  incompatible.(t).(s) <- true;
+                  changed := true
+              | Some _, Some _ | Some _, None | None, Some _ | None, None -> ())
+            inputs
+      done
+    done
+  done;
+  incompatible
+
+let compatible_pairs m =
+  let n = Array.length m.Fsm.states in
+  let incompatible = compatible_matrix m in
+  let pairs = ref [] in
+  for s = 0 to n - 1 do
+    for t = s + 1 to n - 1 do
+      if not incompatible.(s).(t) then pairs := (s, t) :: !pairs
+    done
+  done;
+  List.rev !pairs
+
+let reduce_incompletely_specified (m : Fsm.t) =
+  let n = Array.length m.Fsm.states in
+  let inputs = input_minterms m in
+  let incompatible = compatible_matrix m in
+  (* Greedy cliques over the compatibility graph. *)
+  let clique_of = Array.make n (-1) in
+  let cliques = ref [] in
+  for s = 0 to n - 1 do
+    if clique_of.(s) < 0 then begin
+      let members = ref [ s ] in
+      for t = s + 1 to n - 1 do
+        if clique_of.(t) < 0 && List.for_all (fun u -> not incompatible.(u).(t)) !members then
+          members := t :: !members
+      done;
+      let ci = List.length !cliques in
+      List.iter (fun u -> clique_of.(u) <- ci) !members;
+      cliques := List.sort compare !members :: !cliques
+    end
+  done;
+  let cliques = ref (Array.of_list (List.rev !cliques)) in
+  (* Closure repair: a clique whose members' specified successors under
+     some input fall into different cliques cannot be merged as-is; evict
+     a member into its own clique and re-check. Cliques only shrink, so
+     this terminates. *)
+  let rebuild_clique_of () =
+    Array.iteri
+      (fun ci members -> List.iter (fun u -> clique_of.(u) <- ci) members)
+      !cliques
+  in
+  let closed = ref false in
+  while not !closed do
+    closed := true;
+    rebuild_clique_of ();
+    Array.iteri
+      (fun ci members ->
+        if !closed && List.length members > 1 then
+          List.iter
+            (fun input ->
+              if !closed then begin
+                let dst_cliques =
+                  List.filter_map
+                    (fun s ->
+                      match behaviour m s input with
+                      | Some (Some d, _) -> Some clique_of.(d)
+                      | Some (None, _) | None -> None)
+                    members
+                  |> List.sort_uniq compare
+                in
+                match dst_cliques with
+                | _ :: _ :: _ ->
+                    (* Split: evict the last member. *)
+                    (match List.rev members with
+                    | evicted :: rest ->
+                        !cliques.(ci) <- List.rev rest;
+                        cliques := Array.append !cliques [| [ evicted ] |];
+                        closed := false
+                    | [] -> ())
+                | [] | [ _ ] -> ()
+              end)
+            inputs)
+      !cliques
+  done;
+  rebuild_clique_of ();
+  let cliques = !cliques in
+  let num_cliques = Array.length cliques in
+  (* Build the merged machine: one state per clique, rows combining the
+     members' specified behaviour per input minterm. *)
+  let states =
+    Array.init num_cliques (fun ci -> m.Fsm.states.(List.hd cliques.(ci)))
+  in
+  let combine_outputs outs =
+    String.init m.Fsm.num_outputs (fun j ->
+        let specified =
+          List.filter_map (fun o -> if o.[j] = '-' then None else Some o.[j]) outs
+        in
+        match specified with [] -> '-' | c :: _ -> c)
+  in
+  let transitions = ref [] in
+  Array.iteri
+    (fun ci members ->
+      List.iter
+        (fun input ->
+          let specified =
+            List.filter_map
+              (fun s ->
+                match behaviour m s input with
+                | Some (dst, out) -> Some (dst, out)
+                | None -> None)
+              members
+          in
+          match specified with
+          | [] -> ()
+          | _ ->
+              let dst =
+                match List.filter_map fst specified with
+                | [] -> None
+                | d :: _ -> Some clique_of.(d)
+              in
+              let output = combine_outputs (List.map snd specified) in
+              transitions :=
+                { Fsm.input; src = Some ci; dst; output } :: !transitions)
+        inputs)
+    cliques;
+  let reset = Option.map (fun r -> clique_of.(r)) m.Fsm.reset in
+  match reset with
+  | Some r ->
+      Fsm.create ~name:m.Fsm.name ~num_inputs:m.Fsm.num_inputs ~num_outputs:m.Fsm.num_outputs
+        ~states ~transitions:(List.rev !transitions) ~reset:r ()
+  | None ->
+      Fsm.create ~name:m.Fsm.name ~num_inputs:m.Fsm.num_inputs ~num_outputs:m.Fsm.num_outputs
+        ~states ~transitions:(List.rev !transitions) ()

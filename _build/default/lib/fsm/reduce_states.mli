@@ -1,0 +1,40 @@
+(** State minimization — the SIS-flow step that precedes state
+    assignment. NOVA's paper assumes minimized machines; this module
+    supplies the substrate.
+
+    For completely specified machines, classic partition refinement
+    computes the unique minimum machine (equivalent states merged). For
+    incompletely specified machines, exact minimization is NP-hard; a
+    STAMINA-flavored heuristic builds the compatibility relation and
+    greedily merges maximal sets of pairwise compatible states (not
+    guaranteed minimum, always behavior-preserving on the specified
+    part). *)
+
+(** [remove_unreachable m] drops the states no input sequence can reach
+    from the reset state (state 0 when no reset is declared), together
+    with their rows. Rows applying to any state (['*']) are kept. *)
+val remove_unreachable : Fsm.t -> Fsm.t
+
+(** [equivalent_states m] partitions the states of [m] into equivalence
+    classes by partition refinement. Two states are equivalent iff no
+    input sequence distinguishes their specified outputs and successors.
+    Only meaningful for completely specified machines; unspecified
+    entries are treated as distinct behaviours. *)
+val equivalent_states : Fsm.t -> int list list
+
+(** [reduce m] merges equivalent states, keeping the lowest-numbered
+    representative of each class; the reset state is remapped. The result
+    has the same inputs/outputs and at most as many states. *)
+val reduce : Fsm.t -> Fsm.t
+
+(** [compatible_pairs m] computes the compatibility relation of an
+    incompletely specified machine: states [s], [t] are compatible iff
+    for every input their specified outputs agree and their specified
+    successors are (recursively) compatible. Returns the upper-triangle
+    pairs [(s, t)], [s < t]. *)
+val compatible_pairs : Fsm.t -> (int * int) list
+
+(** [reduce_incompletely_specified m] greedily covers the states with
+    cliques of the compatibility graph and merges each clique. The merged
+    machine's rows combine the clique members' specified behaviour. *)
+val reduce_incompletely_specified : Fsm.t -> Fsm.t

@@ -1,0 +1,98 @@
+type step = {
+  input : string;
+  state_before : int;
+  state_after : int option;
+  outputs : string;
+}
+
+let run (m : Fsm.t) ~from trace =
+  let rec go s acc = function
+    | [] -> List.rev acc
+    | input :: rest -> (
+        match Fsm.next m ~input ~src:s with
+        | None -> List.rev ({ input; state_before = s; state_after = None; outputs = String.make m.Fsm.num_outputs '-' } :: acc)
+        | Some (dst, outputs) -> (
+            let step = { input; state_before = s; state_after = dst; outputs } in
+            match dst with
+            | None -> List.rev (step :: acc)
+            | Some d -> go d (step :: acc) rest))
+  in
+  go from [] trace
+
+let random_trace rng (m : Fsm.t) ~length =
+  List.init length (fun _ ->
+      String.init m.Fsm.num_inputs (fun _ -> if Random.State.bool rng then '1' else '0'))
+
+type verdict =
+  | Equivalent
+  | Mismatch of { state : int; input : string; detail : string }
+
+let outputs_agree spec actual =
+  let ok = ref true in
+  String.iteri
+    (fun j ch ->
+      match ch with
+      | '1' -> if not actual.(j) then ok := false
+      | '0' -> if actual.(j) then ok := false
+      | _ -> ())
+    spec;
+  !ok
+
+let check_step (m : Fsm.t) e enc cover s input =
+  match Fsm.next m ~input ~src:s with
+  | None -> None
+  | Some (dst, out) -> (
+      let next_code, outputs = Encoded.eval enc cover ~input ~code:(Encoding.code e s) in
+      let bad detail = Some (Mismatch { state = s; input; detail }) in
+      match dst with
+      | Some d when next_code <> Encoding.code e d ->
+          bad
+            (Printf.sprintf "next code %d, expected %d (state %s)" next_code (Encoding.code e d)
+               m.Fsm.states.(d))
+      | Some _ | None ->
+          if outputs_agree out outputs then None
+          else bad (Printf.sprintf "outputs disagree with %s" out))
+
+let check_encoding (m : Fsm.t) e =
+  if m.Fsm.num_inputs > 16 then invalid_arg "Simulate.check_encoding: too many inputs";
+  let enc = Encoded.build m e in
+  let cover = Encoded.minimize enc in
+  let n = Array.length m.Fsm.states in
+  let verdict = ref Equivalent in
+  for s = 0 to n - 1 do
+    for v = 0 to (1 lsl m.Fsm.num_inputs) - 1 do
+      if !verdict = Equivalent then begin
+        let input =
+          String.init m.Fsm.num_inputs (fun i -> if v land (1 lsl i) <> 0 then '1' else '0')
+        in
+        match check_step m e enc cover s input with
+        | Some bad -> verdict := bad
+        | None -> ()
+      end
+    done
+  done;
+  !verdict
+
+let check_encoding_sampled rng (m : Fsm.t) e ~traces ~length =
+  let enc = Encoded.build m e in
+  let cover = Encoded.minimize enc in
+  let start = Option.value m.Fsm.reset ~default:0 in
+  let verdict = ref Equivalent in
+  for _ = 1 to traces do
+    if !verdict = Equivalent then begin
+      let s = ref (Some start) in
+      List.iter
+        (fun input ->
+          match !s with
+          | None -> ()
+          | Some cur -> (
+              (match check_step m e enc cover cur input with
+              | Some bad -> verdict := bad
+              | None -> ());
+              match Fsm.next m ~input ~src:cur with
+              | Some (Some d, _) -> s := Some d
+              | Some (None, _) | None -> s := None))
+        (random_trace rng m ~length)
+    end
+  done;
+  !verdict

@@ -1,0 +1,38 @@
+(** Simulation and equivalence checking.
+
+    Drives a machine over input traces and cross-checks the symbolic
+    machine against its encoded two-level implementation — the
+    correctness oracle for a state assignment: whatever the codes, the
+    minimized PLA must realize every specified transition and output. *)
+
+(** One simulation step outcome. *)
+type step = {
+  input : string;
+  state_before : int;
+  state_after : int option;  (** [None] once behaviour became unspecified *)
+  outputs : string;  (** as specified by the table, ['-'] kept *)
+}
+
+(** [run m ~from trace] drives [m] over the fully specified input strings
+    of [trace], stopping early when behaviour becomes unspecified. *)
+val run : Fsm.t -> from:int -> string list -> step list
+
+(** [random_trace rng m ~length] draws a fully specified input trace. *)
+val random_trace : Random.State.t -> Fsm.t -> length:int -> string list
+
+(** Result of an equivalence check. *)
+type verdict =
+  | Equivalent
+  | Mismatch of { state : int; input : string; detail : string }
+
+(** [check_encoding m e] verifies exhaustively (over every state and
+    every input minterm; requires [num_inputs <= 16]) that the ESPRESSO-
+    minimized implementation of [m] under encoding [e] realizes every
+    specified transition and output bit. *)
+val check_encoding : Fsm.t -> Encoding.t -> verdict
+
+(** [check_encoding_sampled rng m e ~traces ~length] is a randomized
+    version for machines with wide inputs: drives [traces] random traces
+    of [length] steps from the reset state (or state 0). *)
+val check_encoding_sampled :
+  Random.State.t -> Fsm.t -> Encoding.t -> traces:int -> length:int -> verdict

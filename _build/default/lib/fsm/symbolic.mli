@@ -1,0 +1,41 @@
+(** The symbolic (multiple-valued) cover of an FSM's combinational logic.
+
+    The domain has one binary (two-part) variable per primary input, one
+    multiple-valued variable whose parts are the present states, and a
+    final multiple-valued output variable with one part per next state
+    (1-hot) followed by one part per binary output — the positional
+    representation on which ESPRESSO-MV style minimization runs
+    (Section 2.2 of the paper). *)
+
+open Logic
+
+type t = {
+  machine : Fsm.t;
+  dom : Domain.t;
+  on : Cover.t;
+  dc : Cover.t;
+  state_var : int;  (** index of the present-state variable *)
+  output_var : int;  (** index of the output variable *)
+}
+
+(** [of_fsm m] builds the symbolic cover. The don't-care set contains the
+    unspecified (input, state) region, rows with unspecified next states,
+    and ['-'] output entries. *)
+val of_fsm : Fsm.t -> t
+
+(** [num_states t] is the number of parts of the state variable. *)
+val num_states : t -> int
+
+(** [next_state_part t s] is the output-variable part asserting next
+    state [s]. *)
+val next_state_part : t -> int -> int
+
+(** [output_part t j] is the output-variable part of binary output [j]. *)
+val output_part : t -> int -> int
+
+(** [minimize t] is the ESPRESSO-MV minimized symbolic cover. *)
+val minimize : t -> Cover.t
+
+(** [present_states t c] is the set of present states asserted by cube
+    [c], as a bit vector over the states. *)
+val present_states : t -> Cube.t -> Bitvec.t

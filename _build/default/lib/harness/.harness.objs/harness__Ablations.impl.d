@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Benchmarks Constraints Encoded Encoding Fsm Ihybrid Iohybrid List Printf Report Symbmin Symbolic Unix

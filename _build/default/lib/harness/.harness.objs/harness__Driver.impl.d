@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Baselines Constraints Encoded Encoding Fsm Iexact Igreedy Ihybrid Iohybrid List Option Printf Random Symbmin Symbolic

@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Baselines Encoded Encoding Fsm

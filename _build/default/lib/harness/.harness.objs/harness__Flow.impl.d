@@ -1,0 +1,1 @@
+lib/harness/flow.ml: Baselines Benchmarks Constraints Encoded Encoding Fsm Hashtbl Iexact Igreedy Ihybrid Iohybrid Lazy List Multilevel Random Symbmin Symbolic Unix

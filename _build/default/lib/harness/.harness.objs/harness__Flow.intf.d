@@ -1,0 +1,1 @@
+lib/harness/flow.mli: Constraints Encoded Encoding Fsm Iexact Igreedy Ihybrid Iohybrid Lazy Symbmin Symbolic

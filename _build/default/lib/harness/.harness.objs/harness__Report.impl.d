@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Format List Printf String

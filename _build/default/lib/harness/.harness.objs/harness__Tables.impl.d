@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Benchmarks Constraints Encoded Encoding Flow Format Fsm Iexact Igreedy Ihybrid Iohybrid Lazy List Option Printf Report

@@ -1,0 +1,18 @@
+(** Ablation experiments for the design choices DESIGN.md calls out.
+
+    - [symbmin_order]: Section VI leaves the symbol selection order of
+      the symbolic minimization loop open ("we plan to analyze the
+      variations of the basic scheme"); compares the (IC, OC) pairs and
+      final iohybrid areas of three orders.
+    - [max_work]: Section IV notes the bounded backtracking's magic
+      number should adapt to the instance; sweeps it.
+    - [code_length]: Section VII observes the best results usually, but
+      not always, come from the minimum code length; sweeps ihybrid's
+      code length over minimum .. minimum + 3. *)
+
+val symbmin_order : ?quick:bool -> Format.formatter -> unit -> unit
+val max_work : ?quick:bool -> Format.formatter -> unit -> unit
+val code_length : ?quick:bool -> Format.formatter -> unit -> unit
+
+(** [all ppf ()] runs the three ablations on a representative subset. *)
+val all : ?quick:bool -> Format.formatter -> unit -> unit

@@ -1,0 +1,60 @@
+type algorithm =
+  | Ihybrid
+  | Igreedy
+  | Iohybrid
+  | Iovariant
+  | Iexact
+  | Kiss
+  | Mustang of Baselines.mustang_flavor * bool
+  | One_hot
+  | Random of int
+
+let name = function
+  | Ihybrid -> "ihybrid"
+  | Igreedy -> "igreedy"
+  | Iohybrid -> "iohybrid"
+  | Iovariant -> "iovariant"
+  | Iexact -> "iexact"
+  | Kiss -> "kiss"
+  | Mustang (Baselines.Fanout, false) -> "mustang-n"
+  | Mustang (Baselines.Fanout, true) -> "mustang-nt"
+  | Mustang (Baselines.Fanin, false) -> "mustang-p"
+  | Mustang (Baselines.Fanin, true) -> "mustang-pt"
+  | One_hot -> "onehot"
+  | Random seed -> Printf.sprintf "random[%d]" seed
+
+let all_algorithms =
+  [
+    Ihybrid; Igreedy; Iohybrid; Iovariant; Iexact; Kiss;
+    Mustang (Baselines.Fanout, true); Mustang (Baselines.Fanin, true);
+    One_hot; Random 0;
+  ]
+
+let encode ?bits (m : Fsm.t) algo =
+  let n = Fsm.num_states ~m in
+  let ics () = Constraints.of_symbolic (Symbolic.of_fsm m) in
+  let problem () = (Symbmin.run (Symbolic.of_fsm m)).Symbmin.problem in
+  match algo with
+  | Ihybrid -> (Ihybrid.ihybrid_code ~num_states:n ?nbits:bits (ics ())).Ihybrid.encoding
+  | Igreedy -> (Igreedy.igreedy_code ~num_states:n ?nbits:bits (ics ())).Igreedy.encoding
+  | Iohybrid -> (Iohybrid.iohybrid_code ?nbits:bits (problem ())).Iohybrid.encoding
+  | Iovariant -> (Iohybrid.iovariant_code ?nbits:bits (problem ())).Iohybrid.encoding
+  | Iexact -> (
+      let groups =
+        List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) (ics ())
+      in
+      match Iexact.iexact_code ~num_states:n groups with
+      | Iexact.Sat { k; codes; _ } -> Encoding.make ~nbits:k codes
+      | Iexact.Exhausted -> failwith "iexact: work budget exhausted")
+  | Kiss -> Baselines.kiss_encode ~num_states:n (ics ())
+  | Mustang (flavor, include_outputs) ->
+      let nbits = Option.value bits ~default:(Fsm.min_code_length m) in
+      Baselines.mustang_encode m ~flavor ~include_outputs ~nbits
+  | One_hot -> Encoding.one_hot n
+  | Random seed ->
+      let nbits = Option.value bits ~default:(Fsm.min_code_length m) in
+      Encoding.random (Random.State.make [| seed |]) ~num_states:n ~nbits
+
+let report ?bits m algo =
+  let e = encode ?bits m algo in
+  (e, Encoded.implement m e)

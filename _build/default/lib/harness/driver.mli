@@ -1,0 +1,30 @@
+(** One-call driver: run any of the paper's encoding algorithms (or a
+    baseline) on a machine. This is the programmatic face of
+    [nova encode]. *)
+
+type algorithm =
+  | Ihybrid
+  | Igreedy
+  | Iohybrid
+  | Iovariant
+  | Iexact
+  | Kiss
+  | Mustang of Baselines.mustang_flavor * bool  (** flavor, include outputs *)
+  | One_hot
+  | Random of int  (** seed *)
+
+(** [name algo] is the CLI spelling of [algo]. *)
+val name : algorithm -> string
+
+(** [all_algorithms] is every algorithm with default options, in a
+    sensible reporting order. *)
+val all_algorithms : algorithm list
+
+(** [encode ?bits machine algo] runs the algorithm. [bits] overrides the
+    code length where the algorithm accepts one. Raises [Failure] when
+    [Iexact] exhausts its budget. *)
+val encode : ?bits:int -> Fsm.t -> algorithm -> Encoding.t
+
+(** [report ?bits machine algo] is [encode] plus the minimized
+    implementation. *)
+val report : ?bits:int -> Fsm.t -> algorithm -> Encoding.t * Encoded.result

@@ -1,0 +1,190 @@
+type t = {
+  name : string;
+  machine : Fsm.t;
+  sym : Symbolic.t Lazy.t;
+  ics : Constraints.input_constraint list Lazy.t;
+  symbolic_min : Symbmin.t Lazy.t;
+  ihybrid : Ihybrid.result Lazy.t;
+  ihybrid_time : float ref;
+  igreedy : Igreedy.result Lazy.t;
+  iohybrid : Iohybrid.result Lazy.t;
+  iexact : Iexact.outcome Lazy.t;
+  kiss : Encoding.t Lazy.t;
+  one_hot : Encoding.t Lazy.t;
+  randoms : Encoding.t list Lazy.t;
+}
+
+let num_random_runs = 8
+
+(* iexact work budget: generous on small machines, the paper itself gives
+   up on the big ones. *)
+let iexact_budget = 400_000
+
+let timed cell f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  cell := Unix.gettimeofday () -. t0;
+  r
+
+let make name =
+  let machine = Benchmarks.Suite.find name in
+  let n = Fsm.num_states ~m:machine in
+  let sym = lazy (Symbolic.of_fsm machine) in
+  let ics = lazy (Constraints.of_symbolic (Lazy.force sym)) in
+  let ihybrid_time = ref 0.0 in
+  let ihybrid =
+    lazy (timed ihybrid_time (fun () -> Ihybrid.ihybrid_code ~num_states:n (Lazy.force ics)))
+  in
+  {
+    name;
+    machine;
+    sym;
+    ics;
+    symbolic_min = lazy (Symbmin.run (Lazy.force sym));
+    ihybrid;
+    ihybrid_time;
+    igreedy = lazy (Igreedy.igreedy_code ~num_states:n (Lazy.force ics));
+    iohybrid =
+      lazy
+        (let sm = Symbmin.run (Lazy.force sym) in
+         Iohybrid.iohybrid_code sm.Symbmin.problem);
+    iexact =
+      lazy
+        (Iexact.iexact_code ~num_states:n ~max_work:iexact_budget
+           (List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) (Lazy.force ics)));
+    kiss = lazy (Baselines.kiss_encode ~num_states:n (Lazy.force ics));
+    one_hot = lazy (Encoding.one_hot n);
+    randoms =
+      lazy
+        (let nbits = Ihybrid.min_code_length n in
+         List.init num_random_runs (fun i ->
+             let rng = Random.State.make [| 77; i; n |] in
+             Encoding.random rng ~num_states:n ~nbits));
+  }
+
+let flows : (string, t) Hashtbl.t = Hashtbl.create 41
+
+let get name =
+  match Hashtbl.find_opt flows name with
+  | Some f -> f
+  | None ->
+      let f = make name in
+      Hashtbl.add flows name f;
+      f
+
+let impls : (string * int * int array, Encoded.result) Hashtbl.t = Hashtbl.create 127
+
+let implement flow (e : Encoding.t) =
+  let key = (flow.name, e.Encoding.nbits, e.Encoding.codes) in
+  match Hashtbl.find_opt impls key with
+  | Some r -> r
+  | None ->
+      let r = Encoded.implement flow.machine e in
+      Hashtbl.add impls key r;
+      r
+
+let area_of flow e = (implement flow e).Encoded.area
+
+let random_best_avg flow =
+  let areas = List.map (area_of flow) (Lazy.force flow.randoms) in
+  let best = List.fold_left min max_int areas in
+  let avg = List.fold_left ( + ) 0 areas / List.length areas in
+  (best, avg)
+
+let best_ih_ig flow =
+  let eh = (Lazy.force flow.ihybrid).Ihybrid.encoding in
+  let eg = (Lazy.force flow.igreedy).Igreedy.encoding in
+  if area_of flow eh <= area_of flow eg then eh else eg
+
+(* "Best of NOVA": the minimum area over the program's algorithms,
+   including a few multi-start ihybrid runs with shuffled equal-weight
+   accretion orders (the paper's tables likewise report the program's
+   best solution). Memoized: several tables and all three figures ask
+   for it repeatedly. *)
+let nova_candidates flow =
+  let n = Fsm.num_states ~m:flow.machine in
+  let multi =
+    List.map
+      (fun os ->
+        (Ihybrid.ihybrid_code ~num_states:n ~order_seed:os (Lazy.force flow.ics)).Ihybrid.encoding)
+      [ 1; 2; 3 ]
+  in
+  [
+    (Lazy.force flow.ihybrid).Ihybrid.encoding;
+    (Lazy.force flow.igreedy).Igreedy.encoding;
+    (Lazy.force flow.iohybrid).Iohybrid.encoding;
+  ]
+  @ multi
+
+let nova_best_cache : (string, Encoding.t) Hashtbl.t = Hashtbl.create 41
+
+let nova_best flow =
+  match Hashtbl.find_opt nova_best_cache flow.name with
+  | Some e -> e
+  | None ->
+      let best =
+        match nova_candidates flow with
+        | [] -> assert false
+        | e :: rest ->
+            List.fold_left
+              (fun best c -> if area_of flow c < area_of flow best then c else best)
+              e rest
+      in
+      Hashtbl.add nova_best_cache flow.name best;
+      best
+
+let mustang_flavors =
+  [
+    ("-n", Baselines.Fanout, false);
+    ("-nt", Baselines.Fanout, true);
+    ("-p", Baselines.Fanin, false);
+    ("-pt", Baselines.Fanin, true);
+  ]
+
+let mustang_cache : (string, Encoding.t * string) Hashtbl.t = Hashtbl.create 41
+
+let mustang_best_cubes flow =
+  match Hashtbl.find_opt mustang_cache flow.name with
+  | Some r -> r
+  | None ->
+      let n = Fsm.num_states ~m:flow.machine in
+      let nbits = Ihybrid.min_code_length n in
+      let candidates =
+        List.map
+          (fun (label, flavor, include_outputs) ->
+            (Baselines.mustang_encode flow.machine ~flavor ~include_outputs ~nbits, label))
+          mustang_flavors
+      in
+      let best =
+        List.fold_left
+          (fun (be, bl) (e, l) ->
+            if (implement flow e).Encoded.num_cubes < (implement flow be).Encoded.num_cubes
+            then (e, l)
+            else (be, bl))
+          (List.hd candidates) (List.tl candidates)
+      in
+      Hashtbl.add mustang_cache flow.name best;
+      best
+
+let lits_cache : (string * int * int array, int) Hashtbl.t = Hashtbl.create 127
+
+let factored_literals flow (e : Encoding.t) =
+  let key = (flow.name, e.Encoding.nbits, e.Encoding.codes) in
+  match Hashtbl.find_opt lits_cache key with
+  | Some l -> l
+  | None ->
+      let r = implement flow e in
+      let net =
+        Multilevel.of_cover r.Encoded.cover
+          ~num_binary_vars:(flow.machine.Fsm.num_inputs + e.Encoding.nbits)
+      in
+      let l = Multilevel.factored_literals (Multilevel.optimize net) in
+      Hashtbl.add lits_cache key l;
+      l
+
+let clear_cache () =
+  Hashtbl.reset flows;
+  Hashtbl.reset impls;
+  Hashtbl.reset nova_best_cache;
+  Hashtbl.reset mustang_cache;
+  Hashtbl.reset lits_cache

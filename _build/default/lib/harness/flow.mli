@@ -1,0 +1,61 @@
+(** Per-machine experiment flow with caching.
+
+    Every paper table needs some subset of: the multiple-valued
+    minimization (input constraints), symbolic minimization (mixed
+    constraints), the four NOVA encodings, the baselines, random
+    assignments, and an ESPRESSO run per encoding. This module computes
+    each once per machine and caches it, recording wall-clock times. *)
+
+type t = {
+  name : string;
+  machine : Fsm.t;
+  sym : Symbolic.t Lazy.t;
+  ics : Constraints.input_constraint list Lazy.t;
+  symbolic_min : Symbmin.t Lazy.t;
+  ihybrid : Ihybrid.result Lazy.t;
+  ihybrid_time : float ref;  (** seconds, filled when [ihybrid] forces *)
+  igreedy : Igreedy.result Lazy.t;
+  iohybrid : Iohybrid.result Lazy.t;
+  iexact : Iexact.outcome Lazy.t;
+  kiss : Encoding.t Lazy.t;
+  one_hot : Encoding.t Lazy.t;
+  randoms : Encoding.t list Lazy.t;  (** the paper's random-assignment pool *)
+}
+
+(** [get name] is the cached flow of benchmark machine [name]. *)
+val get : string -> t
+
+(** [implement flow encoding] minimizes the encoded PLA (cached per
+    distinct encoding). *)
+val implement : t -> Encoding.t -> Encoded.result
+
+(** [area_of flow encoding] is [ (implement flow encoding).area ]. *)
+val area_of : t -> Encoding.t -> int
+
+(** [random_best_avg flow] is the best and average area over the random
+    pool. *)
+val random_best_avg : t -> int * int
+
+(** [nova_best flow] is the minimum-area encoding among ihybrid, igreedy
+    and iohybrid — the paper's "best of NOVA". *)
+val nova_best : t -> Encoding.t
+
+(** [best_ih_ig flow] is the smaller-area of ihybrid and igreedy. *)
+val best_ih_ig : t -> Encoding.t
+
+(** [mustang_best_cubes flow] is the best MUSTANG encoding over the
+    [-p]/[-n]/[-pt]/[-nt] flavors at minimum code length, by cube count
+    (paper's Table VII protocol), together with its flavor label. *)
+val mustang_best_cubes : t -> Encoding.t * string
+
+(** [factored_literals flow encoding] runs the multilevel optimizer on
+    the minimized encoded cover and counts factored literals. *)
+val factored_literals : t -> Encoding.t -> int
+
+(** [num_random_runs] is the size of the random pool per machine (the
+    paper used one per state; we cap it — see DESIGN.md). *)
+val num_random_runs : int
+
+(** [clear_cache ()] empties all caches (used by benchmarks to measure
+    cold runs). *)
+val clear_cache : unit -> unit

@@ -1,0 +1,404 @@
+let heavy name =
+  match List.find_opt (fun e -> e.Benchmarks.Suite.name = name) Benchmarks.Suite.all with
+  | Some e -> e.Benchmarks.Suite.heavy
+  | None -> false
+
+let names ~quick =
+  List.filter (fun n -> (not quick) || not (heavy n)) Benchmarks.Suite.table1
+
+let paper field name =
+  match Benchmarks.Paper_data.find name with None -> None | Some row -> field row
+
+let soi = string_of_int
+
+(* Measured-vs-paper total summary line. *)
+let totals ppf label pairs =
+  let ours = List.fold_left (fun a (o, _) -> a + o) 0 pairs in
+  let theirs = List.fold_left (fun a (_, p) -> a + Option.value ~default:0 p) 0 pairs in
+  let have_paper = List.for_all (fun (_, p) -> p <> None) pairs in
+  if have_paper && theirs > 0 then
+    Format.fprintf ppf "%s: measured total %d, paper total %d (measured/paper %.2f)@." label
+      ours theirs
+      (float_of_int ours /. float_of_int theirs)
+  else Format.fprintf ppf "%s: measured total %d@." label ours
+
+let table1 ?(quick = false) ppf () =
+  let rows =
+    List.map
+      (fun name ->
+        let m = Benchmarks.Suite.find name in
+        let s = Fsm.stats m in
+        [
+          name;
+          soi s.Fsm.stat_inputs;
+          soi s.Fsm.stat_outputs;
+          soi s.Fsm.stat_states;
+          soi s.Fsm.stat_products;
+        ])
+      (names ~quick)
+  in
+  Report.print_table ppf ~title:"Table I: statistics of benchmark examples"
+    ~header:[ "example"; "#inputs"; "#outputs"; "#states"; "#products" ]
+    rows
+
+let table2 ?(quick = false) ppf () =
+  let rows = ref [] and area_pairs = ref [] in
+  List.iter
+    (fun name ->
+      let f = Flow.get name in
+      let iex =
+        if heavy name then Iexact.Exhausted else Lazy.force f.Flow.iexact
+      in
+      let iex_cells =
+        match iex with
+        | Iexact.Sat { k; codes; proven } ->
+            let e = Encoding.make ~nbits:k codes in
+            let r = Flow.implement f e in
+            (* Unproven minimality is starred, like the paper's donfile
+               entry. *)
+            [ (soi k ^ if proven then "" else "*"); soi r.Encoded.num_cubes; soi r.Encoded.area ]
+        | Iexact.Exhausted -> [ "-"; "-"; "-" ]
+      in
+      let eh = (Lazy.force f.Flow.ihybrid).Ihybrid.encoding in
+      let rh = Flow.implement f eh in
+      let eg = (Lazy.force f.Flow.igreedy).Igreedy.encoding in
+      let rg = Flow.implement f eg in
+      (* 1-hot codes only fit the int-based encoding up to 60 states. *)
+      let oh_cubes =
+        if Fsm.num_states ~m:f.Flow.machine > 60 then "-"
+        else soi (Flow.implement f (Lazy.force f.Flow.one_hot)).Encoded.num_cubes
+      in
+      area_pairs :=
+        (min rh.Encoded.area rg.Encoded.area,
+         paper (fun r -> r.Benchmarks.Paper_data.best_ig_ih_area) name)
+        :: !area_pairs;
+      rows :=
+        ([ name ] @ iex_cells
+        @ [
+            soi eh.Encoding.nbits; soi rh.Encoded.num_cubes; soi rh.Encoded.area;
+            soi eg.Encoding.nbits; soi rg.Encoded.num_cubes; soi rg.Encoded.area;
+            oh_cubes;
+          ])
+        :: !rows)
+    (names ~quick);
+  Report.print_table ppf ~title:"Table II: comparisons of iexact, ihybrid, igreedy"
+    ~header:
+      [
+        "example"; "ex:#bits"; "ex:#cubes"; "ex:area"; "ih:#bits"; "ih:#cubes"; "ih:area";
+        "ig:#bits"; "ig:#cubes"; "ig:area"; "1hot:#cubes";
+      ]
+    (List.rev !rows);
+  totals ppf "best of ihybrid/igreedy area" !area_pairs
+
+let table3 ?(quick = false) ppf () =
+  let rows = ref [] in
+  let best_pairs = ref [] and rnd_pairs = ref [] in
+  List.iter
+    (fun name ->
+      let f = Flow.get name in
+      let eb = Flow.best_ih_ig f in
+      let rb = Flow.implement f eb in
+      let ek = Lazy.force f.Flow.kiss in
+      let rk = Flow.implement f ek in
+      let rnd_best, rnd_avg = Flow.random_best_avg f in
+      best_pairs := (rb.Encoded.area, paper (fun r -> r.Benchmarks.Paper_data.best_ig_ih_area) name) :: !best_pairs;
+      rnd_pairs := (rnd_best, paper (fun r -> r.Benchmarks.Paper_data.random_best_area) name) :: !rnd_pairs;
+      rows :=
+        [
+          name;
+          soi eb.Encoding.nbits; soi rb.Encoded.num_cubes; soi rb.Encoded.area;
+          soi ek.Encoding.nbits; soi rk.Encoded.num_cubes; soi rk.Encoded.area;
+          soi rnd_best; soi rnd_avg;
+        ]
+        :: !rows)
+    (names ~quick);
+  Report.print_table ppf ~title:"Table III: ihybrid/igreedy best vs KISS vs random"
+    ~header:
+      [
+        "example"; "nova:#bits"; "nova:#cubes"; "nova:area"; "kiss:#bits"; "kiss:#cubes";
+        "kiss:area"; "rnd:best"; "rnd:avg";
+      ]
+    (List.rev !rows);
+  totals ppf "best of ihybrid/igreedy area" !best_pairs;
+  totals ppf "random best area" !rnd_pairs;
+  let ours_best = List.fold_left (fun a (o, _) -> a + o) 0 !best_pairs in
+  let ours_rnd = List.fold_left (fun a (o, _) -> a + o) 0 !rnd_pairs in
+  if ours_rnd > 0 then
+    Format.fprintf ppf "nova/random-best ratio: %.2f (paper: 84/100 = 0.84)@."
+      (float_of_int ours_best /. float_of_int ours_rnd)
+
+let table4 ?(quick = false) ppf () =
+  let rows = ref [] in
+  let io_pairs = ref [] and nova_pairs = ref [] in
+  List.iter
+    (fun name ->
+      let f = Flow.get name in
+      let eio = (Lazy.force f.Flow.iohybrid).Iohybrid.encoding in
+      let rio = Flow.implement f eio in
+      let eb = Flow.best_ih_ig f in
+      let rb = Flow.implement f eb in
+      let en = Flow.nova_best f in
+      let rn = Flow.implement f en in
+      let rnd_best, rnd_avg = Flow.random_best_avg f in
+      io_pairs := (rio.Encoded.area, paper (fun r -> r.Benchmarks.Paper_data.iohybrid_area) name) :: !io_pairs;
+      nova_pairs := (rn.Encoded.area, paper (fun r -> r.Benchmarks.Paper_data.nova_best_area) name) :: !nova_pairs;
+      rows :=
+        [
+          name;
+          soi eio.Encoding.nbits; soi rio.Encoded.num_cubes; soi rio.Encoded.area;
+          soi eb.Encoding.nbits; soi rb.Encoded.num_cubes; soi rb.Encoded.area;
+          soi en.Encoding.nbits; soi rn.Encoded.num_cubes; soi rn.Encoded.area;
+          soi rnd_best; soi rnd_avg;
+        ]
+        :: !rows)
+    (names ~quick);
+  Report.print_table ppf
+    ~title:"Table IV: iohybrid, ihybrid/igreedy, best of NOVA, random"
+    ~header:
+      [
+        "example"; "io:#bits"; "io:#cubes"; "io:area"; "ih/ig:#bits"; "ih/ig:#cubes";
+        "ih/ig:area"; "nova:#bits"; "nova:#cubes"; "nova:area"; "rnd:best"; "rnd:avg";
+      ]
+    (List.rev !rows);
+  totals ppf "iohybrid area" !io_pairs;
+  totals ppf "best of NOVA area" !nova_pairs
+
+let table5 ?(quick = false) ppf () =
+  let rows = ref [] and pairs = ref [] in
+  List.iter
+    (fun name ->
+      if (not quick) || not (heavy name) then begin
+        let f = Flow.get name in
+        let eio = (Lazy.force f.Flow.iohybrid).Iohybrid.encoding in
+        let rio = Flow.implement f eio in
+        let capp = paper (fun r -> r.Benchmarks.Paper_data.cappuccino_area) name in
+        pairs := (rio.Encoded.area, capp) :: !pairs;
+        rows :=
+          [
+            name;
+            soi eio.Encoding.nbits; soi rio.Encoded.num_cubes; soi rio.Encoded.area;
+            Report.opt_int capp;
+          ]
+          :: !rows
+      end)
+    Benchmarks.Suite.table5;
+  Report.print_table ppf
+    ~title:"Table V: iohybrid vs Cappuccino/Cream (published areas)"
+    ~header:[ "example"; "io:#bits"; "io:#cubes"; "io:area"; "cappuccino:area" ]
+    (List.rev !rows);
+  totals ppf "iohybrid area vs Cappuccino" !pairs;
+  Format.fprintf ppf "(paper reports the iohybrid/Cappuccino total ratio as 71/100)@."
+
+let table6 ?(quick = false) ppf () =
+  let rows = ref [] in
+  List.iter
+    (fun name ->
+      let f = Flow.get name in
+      let ih = Lazy.force f.Flow.ihybrid in
+      let time = !(f.Flow.ihybrid_time) in
+      let wsat =
+        List.fold_left (fun a (ic : Constraints.input_constraint) -> a + ic.Constraints.weight) 0 ih.Ihybrid.satisfied
+      in
+      let wunsat =
+        List.fold_left (fun a (ic : Constraints.input_constraint) -> a + ic.Constraints.weight) 0 ih.Ihybrid.unsatisfied
+      in
+      let clength = (Lazy.force f.Flow.kiss).Encoding.nbits in
+      let ex_clength =
+        if heavy name then "?"
+        else
+          match Lazy.force f.Flow.iexact with
+          | Iexact.Sat { k; proven; _ } -> if proven then soi k else "<=" ^ soi k
+          | Iexact.Exhausted -> "?"
+      in
+      rows :=
+        [ name; soi wsat; soi wunsat; soi clength; ex_clength; Printf.sprintf "%.2f" time ]
+        :: !rows)
+    (names ~quick);
+  Report.print_table ppf ~title:"Table VI: statistics of ihybrid"
+    ~header:[ "example"; "wsat"; "wunsat"; "clength"; "ex-clength"; "time(s)" ]
+    (List.rev !rows)
+
+let table7_names ~quick =
+  List.filter (fun n -> (not quick) || not (heavy n)) Benchmarks.Suite.table7
+
+(* NOVA's best minimum-code-length two-level result (Table VII protocol). *)
+let nova_best_minlen f =
+  let n = Fsm.num_states ~m:f.Flow.machine in
+  let min_len = Ihybrid.min_code_length n in
+  let candidates =
+    List.filter
+      (fun (e : Encoding.t) -> e.Encoding.nbits = min_len)
+      [
+        (Lazy.force f.Flow.ihybrid).Ihybrid.encoding;
+        (Lazy.force f.Flow.igreedy).Igreedy.encoding;
+        (Lazy.force f.Flow.iohybrid).Iohybrid.encoding;
+      ]
+  in
+  match candidates with
+  | [] -> (Lazy.force f.Flow.igreedy).Igreedy.encoding
+  | e :: rest ->
+      List.fold_left
+        (fun best c ->
+          if (Flow.implement f c).Encoded.num_cubes < (Flow.implement f best).Encoded.num_cubes
+          then c
+          else best)
+        e rest
+
+let table7 ?(quick = false) ppf () =
+  let rows = ref [] in
+  let mc = ref [] and nc = ref [] and ml = ref [] and nl = ref [] and rl = ref [] in
+  List.iter
+    (fun name ->
+      let f = Flow.get name in
+      let emu, flavor = Flow.mustang_best_cubes f in
+      let rmu = Flow.implement f emu in
+      let en = nova_best_minlen f in
+      let rn = Flow.implement f en in
+      let mu_lits = Flow.factored_literals f emu in
+      let nova_lits = Flow.factored_literals f en in
+      let rnd_lits =
+        let randoms = Lazy.force f.Flow.randoms in
+        let best =
+          List.fold_left
+            (fun best e -> if Flow.area_of f e < Flow.area_of f best then e else best)
+            (List.hd randoms) (List.tl randoms)
+        in
+        Flow.factored_literals f best
+      in
+      let p field = paper field name in
+      mc := (rmu.Encoded.num_cubes, p (fun r -> r.Benchmarks.Paper_data.mustang_cubes)) :: !mc;
+      nc := (rn.Encoded.num_cubes, p (fun r -> r.Benchmarks.Paper_data.nova_cubes)) :: !nc;
+      ml := (mu_lits, p (fun r -> r.Benchmarks.Paper_data.mustang_lits)) :: !ml;
+      nl := (nova_lits, p (fun r -> r.Benchmarks.Paper_data.nova_lits)) :: !nl;
+      rl := (rnd_lits, p (fun r -> r.Benchmarks.Paper_data.random_lits)) :: !rl;
+      rows :=
+        [
+          name; flavor;
+          soi rmu.Encoded.num_cubes; soi rn.Encoded.num_cubes;
+          soi mu_lits; soi nova_lits; soi rnd_lits;
+        ]
+        :: !rows)
+    (table7_names ~quick);
+  Report.print_table ppf
+    ~title:"Table VII: two-level and multilevel, MUSTANG vs NOVA vs random"
+    ~header:
+      [ "example"; "mu:flavor"; "mu:#cubes"; "nova:#cubes"; "mu:#lit"; "nova:#lit"; "rnd:#lit" ]
+    (List.rev !rows);
+  totals ppf "MUSTANG cubes" !mc;
+  totals ppf "NOVA cubes" !nc;
+  totals ppf "MUSTANG literals" !ml;
+  totals ppf "NOVA literals" !nl;
+  totals ppf "random literals" !rl;
+  let t l = List.fold_left (fun a (o, _) -> a + o) 0 l in
+  if t !nc > 0 && t !nl > 0 then
+    Format.fprintf ppf
+      "cube ratio MUSTANG/NOVA: %.2f (paper 1.24); literal ratio MUSTANG/NOVA: %.2f (paper 1.08); random/NOVA literals: %.2f (paper 1.30)@."
+      (float_of_int (t !mc) /. float_of_int (t !nc))
+      (float_of_int (t !ml) /. float_of_int (t !nl))
+      (float_of_int (t !rl) /. float_of_int (t !nl))
+
+(* --- Figures: ratio series over machines ordered by #states ------------ *)
+
+let figure ?(quick = false) ppf ~title ~series () =
+  let ns = names ~quick in
+  let columns = List.map fst series in
+  let data =
+    List.map
+      (fun name ->
+        let f = Flow.get name in
+        (name, List.map (fun (_, fn) -> fn f) series))
+      ns
+  in
+  let rows =
+    List.map
+      (fun (name, values) ->
+        name
+        :: List.map
+             (function Some v -> Printf.sprintf "%.2f" v | None -> "-")
+             values)
+      data
+  in
+  Report.print_table ppf ~title ~header:("example (by #states)" :: columns) rows;
+  List.iteri
+    (fun i (label, _) ->
+      let vals = List.map (fun (_, values) -> List.nth values i) data in
+      Format.fprintf ppf "%-18s %s@." label (Report.spark vals))
+    series;
+  Format.fprintf ppf "@."
+
+let area_ratio f num den =
+  let a = num f and b = den f in
+  if b = 0 then None else Some (float_of_int a /. float_of_int b)
+
+let nova_area f = Flow.area_of f (Flow.nova_best f)
+
+let fig8 ?quick ppf () =
+  figure ?quick ppf ~title:"Table VIII (figure): area ratios over best of NOVA"
+    ~series:
+      [
+        ("KISS/NOVA", fun f -> area_ratio f (fun f -> Flow.area_of f (Lazy.force f.Flow.kiss)) nova_area);
+        ("rnd-best/NOVA", fun f -> area_ratio f (fun f -> fst (Flow.random_best_avg f)) nova_area);
+        ("rnd-avg/NOVA", fun f -> area_ratio f (fun f -> snd (Flow.random_best_avg f)) nova_area);
+      ]
+    ()
+
+let fig9 ?quick ppf () =
+  figure ?quick ppf ~title:"Table IX (figure): NOVA algorithm area ratios"
+    ~series:
+      [
+        ( "ihybrid/NOVA",
+          fun f ->
+            area_ratio f (fun f -> Flow.area_of f (Lazy.force f.Flow.ihybrid).Ihybrid.encoding) nova_area );
+        ( "iohybrid/NOVA",
+          fun f ->
+            area_ratio f (fun f -> Flow.area_of f (Lazy.force f.Flow.iohybrid).Iohybrid.encoding) nova_area );
+      ]
+    ()
+
+let fig10 ?(quick = false) ppf () =
+  let ns = List.filter (fun n -> List.mem n (table7_names ~quick)) (names ~quick) in
+  let data =
+    List.map
+      (fun name ->
+        let f = Flow.get name in
+        let emu, _ = Flow.mustang_best_cubes f in
+        let en = nova_best_minlen f in
+        let cube_ratio =
+          let nc = (Flow.implement f en).Encoded.num_cubes in
+          if nc = 0 then None
+          else Some (float_of_int (Flow.implement f emu).Encoded.num_cubes /. float_of_int nc)
+        in
+        let lit_ratio =
+          let nl = Flow.factored_literals f en in
+          if nl = 0 then None else Some (float_of_int (Flow.factored_literals f emu) /. float_of_int nl)
+        in
+        (name, [ cube_ratio; lit_ratio ]))
+      ns
+  in
+  let rows =
+    List.map
+      (fun (name, values) ->
+        name :: List.map (function Some v -> Printf.sprintf "%.2f" v | None -> "-") values)
+      data
+  in
+  Report.print_table ppf ~title:"Table X (figure): MUSTANG/NOVA ratios"
+    ~header:[ "example (by #states)"; "cubes MU/NOVA"; "lits MU/NOVA" ]
+    rows;
+  List.iteri
+    (fun i label ->
+      let vals = List.map (fun (_, values) -> List.nth values i) data in
+      Format.fprintf ppf "%-18s %s@." label (Report.spark vals))
+    [ "cubes MU/NOVA"; "lits MU/NOVA" ];
+  Format.fprintf ppf "@."
+
+let all ?(quick = false) ppf () =
+  table1 ~quick ppf ();
+  table2 ~quick ppf ();
+  table3 ~quick ppf ();
+  table4 ~quick ppf ();
+  table5 ~quick ppf ();
+  table6 ~quick ppf ();
+  table7 ~quick ppf ();
+  fig8 ~quick ppf ();
+  fig9 ~quick ppf ();
+  fig10 ~quick ppf ()

@@ -1,0 +1,1 @@
+lib/logic/cover.ml: Bitvec Cube Domain Format Hashtbl List

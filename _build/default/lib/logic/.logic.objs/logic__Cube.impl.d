@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Array Bitvec Domain Format List

@@ -1,0 +1,1 @@
+lib/logic/domain.ml: Array Format

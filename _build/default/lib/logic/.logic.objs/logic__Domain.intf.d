@@ -1,0 +1,1 @@
+lib/logic/domain.mli: Format

@@ -1,0 +1,199 @@
+type t = { dom : Domain.t; cubes : Cube.t list }
+
+let make dom cubes = { dom; cubes = List.filter (fun c -> not (Cube.is_empty dom c)) cubes }
+let empty dom = { dom; cubes = [] }
+let universe dom = { dom; cubes = [ Cube.full dom ] }
+let size t = List.length t.cubes
+let literal_cost t = List.fold_left (fun acc c -> acc + Cube.num_literal_bits t.dom c) 0 t.cubes
+
+let union a b =
+  assert (Domain.equal a.dom b.dom);
+  { a with cubes = a.cubes @ b.cubes }
+
+let intersect a b =
+  assert (Domain.equal a.dom b.dom);
+  let cubes =
+    List.concat_map
+      (fun ca -> List.filter_map (fun cb -> Cube.inter a.dom ca cb) b.cubes)
+      a.cubes
+  in
+  { a with cubes }
+
+let cofactor t ~wrt =
+  let not_wrt = Bitvec.complement wrt in
+  let cubes =
+    List.filter_map
+      (fun c -> if Cube.intersects t.dom c wrt then Some (Bitvec.union c not_wrt) else None)
+      t.cubes
+  in
+  { t with cubes }
+
+let single_cube_containment t =
+  (* Keep a cube only if no *other* kept-or-later cube contains it; on
+     equal cubes keep the first occurrence. *)
+  let rec loop kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+        let covered =
+          List.exists (fun k -> Cube.contains k c) kept
+          || List.exists (fun r -> Cube.contains r c && not (Cube.equal r c)) rest
+        in
+        if covered then loop kept rest else loop (c :: kept) rest
+  in
+  { t with cubes = loop [] t.cubes }
+
+(* --- Unate-recursive kernel ------------------------------------------- *)
+
+(* A variable is active in a cube list if some cube has a non-full field
+   for it. The most binate variable (active in the most cubes) drives the
+   Shannon-style splitting. *)
+let most_binate_var dom cubes =
+  let n = Domain.num_vars dom in
+  let best = ref (-1) and best_count = ref 0 in
+  for v = 0 to n - 1 do
+    let count =
+      List.fold_left (fun acc c -> if Cube.var_full dom c v then acc else acc + 1) 0 cubes
+    in
+    if count > !best_count then begin
+      best := v;
+      best_count := count
+    end
+  done;
+  if !best_count = 0 then None else Some !best
+
+(* Cofactor a cube list against the literal (var v = part p), keeping only
+   the cubes asserting part p and raising their field of v to full. *)
+let cofactor_literal dom cubes v p =
+  let off = Domain.offset dom v in
+  let sz = Domain.size dom v in
+  List.filter_map
+    (fun c ->
+      if Bitvec.get c (off + p) then begin
+        let c' = Bitvec.copy c in
+        Bitvec.set_range c' off sz;
+        Some c'
+      end
+      else None)
+    cubes
+
+let rec taut_rec dom cubes =
+  match cubes with
+  | [] -> false
+  | _ when List.exists Bitvec.is_full cubes -> true
+  | _ -> (
+      match most_binate_var dom cubes with
+      | None -> false (* all cubes full in every var, but no full cube: impossible *)
+      | Some v ->
+          let sz = Domain.size dom v in
+          let rec parts p = p = sz || (taut_rec dom (cofactor_literal dom cubes v p) && parts (p + 1)) in
+          parts 0)
+
+let tautology t = taut_rec t.dom t.cubes
+
+let covers_cube t c =
+  if Cube.is_empty t.dom c then true
+  else taut_rec t.dom (cofactor t ~wrt:c).cubes
+
+let covers a b = List.for_all (fun c -> covers_cube a c) b.cubes
+
+let equivalent a b = covers a b && covers b a
+
+(* Complement of a single cube: one cube per variable with a non-full
+   field, full everywhere else and the field negated. *)
+let complement_cube dom c =
+  let n = Domain.num_vars dom in
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    if not (Cube.var_full dom c v) then begin
+      let off = Domain.offset dom v in
+      let sz = Domain.size dom v in
+      let r = Bitvec.full (Domain.width dom) in
+      for p = 0 to sz - 1 do
+        if Bitvec.get c (off + p) then Bitvec.clear r (off + p)
+      done;
+      if not (Bitvec.range_empty r off sz) then acc := r :: !acc
+    end
+  done;
+  !acc
+
+(* Merge cubes that are identical outside variable [v] by unioning their
+   [v] fields; cubes whose union becomes a full field stay as such. *)
+let merge_on_var dom cubes v =
+  let off = Domain.offset dom v in
+  let sz = Domain.size dom v in
+  let tbl = Hashtbl.create 31 in
+  List.iter
+    (fun c ->
+      let key = Bitvec.copy c in
+      Bitvec.clear_range key off sz;
+      let key = Bitvec.to_string key in
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.add tbl key (Bitvec.copy c)
+      | Some existing -> Bitvec.union_into existing c)
+    cubes;
+  Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+
+let rec compl_rec dom cubes =
+  match cubes with
+  | [] -> [ Bitvec.full (Domain.width dom) ]
+  | _ when List.exists Bitvec.is_full cubes -> []
+  | [ c ] -> complement_cube dom c
+  | _ -> (
+      match most_binate_var dom cubes with
+      | None -> [] (* some cube is full: handled above; defensive *)
+      | Some v ->
+          let sz = Domain.size dom v in
+          let off = Domain.offset dom v in
+          let branches = ref [] in
+          for p = 0 to sz - 1 do
+            let sub = compl_rec dom (cofactor_literal dom cubes v p) in
+            (* AND each result cube with the literal (v = p). *)
+            List.iter
+              (fun c ->
+                let c' = Bitvec.copy c in
+                Bitvec.clear_range c' off sz;
+                Bitvec.set c' (off + p);
+                branches := c' :: !branches)
+              sub
+          done;
+          merge_on_var dom !branches v)
+
+let complement t =
+  single_cube_containment { t with cubes = compl_rec t.dom t.cubes }
+
+let complement_within t ~space =
+  let relative = cofactor t ~wrt:space in
+  let comp = compl_rec t.dom relative.cubes in
+  let cubes = List.filter_map (fun c -> Cube.inter t.dom c space) comp in
+  single_cube_containment { t with cubes }
+
+let supercube t =
+  match t.cubes with
+  | [] -> None
+  | c :: rest -> Some (List.fold_left Cube.supercube c rest)
+
+let contains_minterm t values =
+  let m = Cube.of_minterm t.dom values in
+  List.exists (fun c -> Cube.contains c m) t.cubes
+
+let rec count_rec dom cubes space_size =
+  match cubes with
+  | [] -> 0
+  | _ when List.exists Bitvec.is_full cubes -> space_size
+  | _ -> (
+      match most_binate_var dom cubes with
+      | None -> space_size
+      | Some v ->
+          let sz = Domain.size dom v in
+          let total = ref 0 in
+          for p = 0 to sz - 1 do
+            total := !total + count_rec dom (cofactor_literal dom cubes v p) (space_size / sz)
+          done;
+          !total)
+
+let num_minterms t = count_rec t.dom t.cubes (Domain.num_minterms t.dom)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun c -> Format.fprintf ppf "%a@," (Cube.pp t.dom) c) t.cubes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,93 @@
+type t = Bitvec.t
+
+let full d = Bitvec.full (Domain.width d)
+let empty_cube d = Bitvec.create (Domain.width d)
+
+let is_empty d c =
+  let n = Domain.num_vars d in
+  let rec loop v =
+    v < n && (Bitvec.range_empty c (Domain.offset d v) (Domain.size d v) || loop (v + 1))
+  in
+  loop 0
+
+let is_full _d c = Bitvec.is_full c
+
+let var_bits d c v =
+  let off = Domain.offset d v in
+  let sz = Domain.size d v in
+  let rec loop p acc = if p < 0 then acc else loop (p - 1) (if Bitvec.get c (off + p) then p :: acc else acc) in
+  loop (sz - 1) []
+
+let var_full d c v = Bitvec.range_full c (Domain.offset d v) (Domain.size d v)
+let var_empty d c v = Bitvec.range_empty c (Domain.offset d v) (Domain.size d v)
+let var_cardinal d c v = Bitvec.range_cardinal c (Domain.offset d v) (Domain.size d v)
+
+let set_var d c v parts =
+  let c' = Bitvec.copy c in
+  let off = Domain.offset d v in
+  Bitvec.clear_range c' off (Domain.size d v);
+  List.iter (fun p -> Bitvec.set c' (off + p)) parts;
+  c'
+
+let restrict_var d c v parts =
+  let keep = List.filter (fun p -> Bitvec.get c (Domain.offset d v + p)) parts in
+  set_var d c v keep
+
+let literal d v parts = set_var d (full d) v parts
+
+let of_minterm d values =
+  let c = empty_cube d in
+  Array.iteri (fun v value -> Bitvec.set c (Domain.offset d v + value)) values;
+  c
+
+let intersects d a b =
+  let i = Bitvec.inter a b in
+  not (is_empty d i)
+
+let inter d a b =
+  let i = Bitvec.inter a b in
+  if is_empty d i then None else Some i
+
+let contains a b = Bitvec.subset b a
+let supercube a b = Bitvec.union a b
+
+let cofactor d c ~wrt =
+  if intersects d c wrt then Some (Bitvec.union c (Bitvec.complement wrt)) else None
+
+let distance d a b =
+  let i = Bitvec.inter a b in
+  let n = Domain.num_vars d in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if Bitvec.range_empty i (Domain.offset d v) (Domain.size d v) then incr count
+  done;
+  !count
+
+let num_minterms d c =
+  let n = Domain.num_vars d in
+  let total = ref 1 in
+  for v = 0 to n - 1 do
+    total := !total * var_cardinal d c v
+  done;
+  !total
+
+let num_literal_bits d c =
+  let n = Domain.num_vars d in
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    if not (var_full d c v) then total := !total + var_cardinal d c v
+  done;
+  !total
+
+let pp d ppf c =
+  let n = Domain.num_vars d in
+  for v = 0 to n - 1 do
+    if v > 0 then Format.pp_print_char ppf '|';
+    let off = Domain.offset d v in
+    for p = 0 to Domain.size d v - 1 do
+      Format.pp_print_char ppf (if Bitvec.get c (off + p) then '1' else '0')
+    done
+  done
+
+let equal = Bitvec.equal
+let compare = Bitvec.compare

@@ -1,0 +1,34 @@
+type t = { sizes : int array; offsets : int array; width : int }
+
+let create sizes =
+  if Array.exists (fun s -> s < 1) sizes then
+    invalid_arg "Domain.create: every variable needs at least one part";
+  let n = Array.length sizes in
+  let offsets = Array.make n 0 in
+  let w = ref 0 in
+  for v = 0 to n - 1 do
+    offsets.(v) <- !w;
+    w := !w + sizes.(v)
+  done;
+  { sizes = Array.copy sizes; offsets; width = !w }
+
+let num_vars d = Array.length d.sizes
+let size d v = d.sizes.(v)
+let offset d v = d.offsets.(v)
+let width d = d.width
+let equal a b = a.sizes = b.sizes
+
+let num_minterms d =
+  Array.fold_left
+    (fun acc s ->
+      let m = acc * s in
+      if acc <> 0 && m / acc <> s then invalid_arg "Domain.num_minterms: overflow";
+      m)
+    1 d.sizes
+
+let pp ppf d =
+  Format.fprintf ppf "domain(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    (Array.to_list d.sizes)

@@ -1,0 +1,35 @@
+(** Domains of multiple-valued logic functions.
+
+    A domain is an ordered list of multiple-valued variables; variable [v]
+    has [size v] parts (possible values). Binary variables are
+    two-part variables. In positional cube notation every cube is a bit
+    vector of [width] bits, where variable [v] owns the bit range
+    [offset v .. offset v + size v - 1]. *)
+
+type t
+
+(** [create sizes] is the domain with [Array.length sizes] variables,
+    variable [v] having [sizes.(v)] parts. Every size must be >= 1. *)
+val create : int array -> t
+
+(** [num_vars d] is the number of variables. *)
+val num_vars : t -> int
+
+(** [size d v] is the number of parts of variable [v]. *)
+val size : t -> int -> int
+
+(** [offset d v] is the first bit of variable [v] in the positional
+    representation. *)
+val offset : t -> int -> int
+
+(** [width d] is the total number of bits of a cube over [d]. *)
+val width : t -> int
+
+(** [equal a b] holds iff the two domains have identical variable sizes. *)
+val equal : t -> t -> bool
+
+(** [num_minterms d] is the number of points of the product space,
+    [prod_v size d v]. Raises [Invalid_argument] on overflow. *)
+val num_minterms : t -> int
+
+val pp : Format.formatter -> t -> unit

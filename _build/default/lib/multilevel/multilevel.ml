@@ -1,0 +1,270 @@
+type product = int list
+type node = { name : string; products : product list }
+type network = { nodes : node list; next_var : int }
+
+(* --- products as sorted literal lists ---------------------------------- *)
+
+let product_compare = Stdlib.compare
+let product_equal a b = product_compare a b = 0
+
+let rec subset a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys -> if x = y then subset xs ys else if x > y then subset a ys else false
+
+let rec remove_lits a b =
+  (* a \ b, both sorted; b ⊆ a assumed where it matters *)
+  match (a, b) with
+  | _, [] -> a
+  | [], _ -> []
+  | x :: xs, y :: ys ->
+      if x = y then remove_lits xs ys else if x < y then x :: remove_lits xs b else remove_lits a ys
+
+let rec inter_lits a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | x :: xs, y :: ys ->
+      if x = y then x :: inter_lits xs ys else if x < y then inter_lits xs b else inter_lits a ys
+
+let union_lits a b = List.sort_uniq compare (a @ b)
+
+let sort_products ps = List.sort_uniq product_compare ps
+
+(* --- conversion from a two-level cover --------------------------------- *)
+
+let of_cover (cover : Logic.Cover.t) ~num_binary_vars =
+  let open Logic in
+  let dom = cover.Cover.dom in
+  let out_var = Domain.num_vars dom - 1 in
+  if out_var <> num_binary_vars then invalid_arg "Multilevel.of_cover: variable layout mismatch";
+  let out_off = Domain.offset dom out_var in
+  let out_sz = Domain.size dom out_var in
+  let product_of_cube c =
+    let lits = ref [] in
+    for v = 0 to num_binary_vars - 1 do
+      let off = Domain.offset dom v in
+      match (Bitvec.get c off, Bitvec.get c (off + 1)) with
+      | true, true -> ()
+      | false, true -> lits := (2 * v) :: !lits (* part 1 = variable true *)
+      | true, false -> lits := ((2 * v) + 1) :: !lits
+      | false, false -> assert false
+    done;
+    List.sort compare !lits
+  in
+  let nodes =
+    List.init out_sz (fun o ->
+        let products =
+          List.filter_map
+            (fun c -> if Bitvec.get c (out_off + o) then Some (product_of_cube c) else None)
+            cover.Cover.cubes
+        in
+        { name = Printf.sprintf "o%d" o; products = sort_products products })
+  in
+  { nodes; next_var = num_binary_vars }
+
+(* --- literal counts ----------------------------------------------------- *)
+
+let sop_literals net =
+  List.fold_left
+    (fun acc n -> acc + List.fold_left (fun a p -> a + List.length p) 0 n.products)
+    0 net.nodes
+
+(* Recursive most-frequent-literal factoring. *)
+let rec factor_count products =
+  match products with
+  | [] -> 0
+  | [ p ] -> List.length p
+  | _ ->
+      let freq = Hashtbl.create 17 in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun l -> Hashtbl.replace freq l (1 + Option.value ~default:0 (Hashtbl.find_opt freq l)))
+            p)
+        products;
+      let best = Hashtbl.fold (fun l c acc ->
+          match acc with
+          | Some (_, c') when c' >= c -> acc
+          | _ when c >= 2 -> Some (l, c)
+          | _ -> acc)
+          freq None
+      in
+      (match best with
+      | None -> List.fold_left (fun a p -> a + List.length p) 0 products
+      | Some (l, _) ->
+          let with_l, without_l = List.partition (fun p -> List.mem l p) products in
+          let quotient = List.map (fun p -> List.filter (fun x -> x <> l) p) with_l in
+          1 + factor_count quotient + factor_count without_l)
+
+let factored_literals net =
+  List.fold_left (fun acc n -> acc + factor_count n.products) 0 net.nodes
+
+(* --- algebraic division and kernels ------------------------------------ *)
+
+let cube_div c d = if subset d c then Some (remove_lits c d) else None
+
+let divide f d =
+  match d with
+  | [] -> ([], f)
+  | first :: rest ->
+      let quotient_of di = List.filter_map (fun c -> cube_div c di) f in
+      let q0 = quotient_of first in
+      let q =
+        List.fold_left
+          (fun acc di ->
+            let qi = quotient_of di in
+            List.filter (fun p -> List.exists (product_equal p) qi) acc)
+          q0 rest
+      in
+      let q = sort_products q in
+      if q = [] then ([], f)
+      else begin
+        let covered =
+          List.concat_map (fun qc -> List.map (fun dc -> union_lits qc dc) d) q
+        in
+        let r = List.filter (fun c -> not (List.exists (product_equal c) covered)) f in
+        (q, r)
+      end
+
+let common_cube products =
+  match products with
+  | [] -> []
+  | p :: rest -> List.fold_left inter_lits p rest
+
+let is_cube_free products = List.length products >= 2 && common_cube products = []
+
+let kernels f =
+  let literals =
+    List.sort_uniq compare (List.concat f)
+  in
+  let acc = ref [] in
+  let seen = Hashtbl.create 31 in
+  let add k co =
+    let key = Marshal.to_string (sort_products k) [] in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      acc := (co, sort_products k) :: !acc
+    end
+  in
+  let rec kern g j cokernel =
+    List.iter
+      (fun l ->
+        if l >= j then begin
+          let with_l = List.filter (fun p -> List.mem l p) g in
+          if List.length with_l >= 2 then begin
+            let co = common_cube with_l in
+            (* Skip if a smaller literal of the co-cube would have found
+               this kernel already. *)
+            if not (List.exists (fun x -> x < l) co) then begin
+              let k = sort_products (List.map (fun p -> remove_lits p co) with_l) in
+              add k co;
+              kern k (l + 1) (union_lits cokernel co)
+            end
+          end
+        end)
+      literals
+  in
+  kern f 0 [];
+  if is_cube_free f then add f [];
+  (* Return (kernel, [co-kernel]) pairs; co-kernel retained only as a
+     witness — extraction value is recomputed by division. *)
+  List.map (fun (co, k) -> (k, [ co ])) !acc
+
+(* --- greedy extraction -------------------------------------------------- *)
+
+(* Rewrite node [n] as y·Q + R when division by [d] (named [y]) helps. *)
+let substitute d y n =
+  let q, r = divide n.products d in
+  if q = [] then n
+  else
+    let new_products = sort_products (List.map (fun p -> union_lits [ y ] p) q @ r) in
+    let old_cost = List.fold_left (fun a p -> a + List.length p) 0 n.products in
+    let new_cost = List.fold_left (fun a p -> a + List.length p) 0 new_products in
+    if new_cost < old_cost then { n with products = new_products } else n
+
+let divisor_value net d =
+  (* Global SOP saving of extracting d as a fresh node. *)
+  let d_lits = List.fold_left (fun a p -> a + List.length p) 0 d in
+  let saving =
+    List.fold_left
+      (fun acc n ->
+        let q, r = divide n.products d in
+        if q = [] then acc
+        else begin
+          let old_cost = List.fold_left (fun a p -> a + List.length p) 0 n.products in
+          let new_cost =
+            List.fold_left (fun a p -> a + List.length p + 1) 0 q
+            + List.fold_left (fun a p -> a + List.length p) 0 r
+          in
+          acc + max 0 (old_cost - new_cost)
+        end)
+      0 net.nodes
+  in
+  saving - d_lits
+
+let candidate_divisors net =
+  let cubes = Hashtbl.create 61 in
+  let add_cube c =
+    if List.length c >= 2 then begin
+      let key = Marshal.to_string c [] in
+      if not (Hashtbl.mem cubes key) then Hashtbl.add cubes key [ c ]
+    end
+  in
+  let kernel_candidates =
+    List.concat_map
+      (fun n ->
+        if List.length n.products > 40 then []
+        else List.filter_map (fun (k, _) -> if List.length k >= 2 then Some k else None) (kernels n.products))
+      net.nodes
+  in
+  (* Common-cube candidates: pairwise intersections within each node. *)
+  List.iter
+    (fun n ->
+      let arr = Array.of_list n.products in
+      let m = Array.length arr in
+      for i = 0 to min (m - 1) 60 do
+        for j = i + 1 to min (m - 1) 60 do
+          add_cube (inter_lits arr.(i) arr.(j))
+        done
+      done)
+    net.nodes;
+  let cube_candidates = Hashtbl.fold (fun _ c acc -> c @ acc) cubes [] in
+  List.map (fun c -> [ c ]) cube_candidates @ kernel_candidates
+
+let apply_divisor net d =
+  let y_var = net.next_var in
+  let y = 2 * y_var in
+  let new_node = { name = Printf.sprintf "k%d" y_var; products = d } in
+  { nodes = new_node :: List.map (substitute d y) net.nodes; next_var = y_var + 1 }
+
+let optimize net0 =
+  let net = ref net0 in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < 30 do
+    incr rounds;
+    improved := false;
+    (* Rank candidates by SOP saving, accept the first whose extraction
+       actually lowers the factored literal count. *)
+    let ranked =
+      candidate_divisors !net
+      |> List.map (fun d -> (divisor_value !net d, d))
+      |> List.filter (fun (v, _) -> v > 0)
+      |> List.sort (fun (v1, _) (v2, _) -> compare v2 v1)
+    in
+    let current_cost = factored_literals !net in
+    let rec try_candidates tried = function
+      | [] -> ()
+      | _ when tried >= 20 -> ()
+      | (_, d) :: rest ->
+          let candidate = apply_divisor !net d in
+          if factored_literals candidate < current_cost then begin
+            net := candidate;
+            improved := true
+          end
+          else try_candidates (tried + 1) rest
+    in
+    try_candidates 0 ranked
+  done;
+  !net

@@ -1,0 +1,45 @@
+(** A small multilevel logic optimizer: the stand-in for MIS-II's
+    standard script in the paper's Table VII / Table X experiments.
+
+    The network is a Boolean network in SOP form. Optimization extracts
+    common cubes and common kernels greedily (accepting a rewrite only
+    when it lowers the global factored literal count) and the final
+    metric is the literal count of the network in factored form, computed
+    by recursive most-frequent-literal factoring — the quantity MIS-II's
+    [print_stats -f] style literal count measures.
+
+    Literals are integers: [2*v] is variable [v], [2*v + 1] its
+    complement. A product is a sorted literal list; an empty product is
+    the constant 1. *)
+
+type product = int list
+
+type node = { name : string; products : product list }
+
+type network = { nodes : node list; next_var : int }
+
+(** [of_cover cover ~num_binary_vars] converts a minimized multiple-output
+    cover (binary inputs first, the final domain variable being the
+    multiple-valued output variable) into a network with one node per
+    output part. *)
+val of_cover : Logic.Cover.t -> num_binary_vars:int -> network
+
+(** [sop_literals network] is the flat sum-of-products literal count. *)
+val sop_literals : network -> int
+
+(** [factored_literals network] is the literal count after factoring each
+    node recursively. *)
+val factored_literals : network -> int
+
+(** [kernels products] enumerates the kernels (cube-free primary
+    divisors, each a multi-cube SOP) of an SOP, paired with a witness
+    co-kernel cube for each. *)
+val kernels : product list -> (product list * product list) list
+
+(** [divide f d] is algebraic (weak) division [f / d]: the quotient and
+    remainder. *)
+val divide : product list -> product list -> product list * product list
+
+(** [optimize network] greedily extracts common cubes and kernels while
+    the factored literal count decreases. *)
+val optimize : network -> network

@@ -1,0 +1,1 @@
+lib/nova/embed.ml: Array Bitvec Constraints Face Hashtbl Input_poset List Option Seq

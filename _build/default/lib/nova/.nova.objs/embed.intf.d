@@ -1,0 +1,1 @@
+lib/nova/embed.mli: Constraints Face Input_poset

@@ -1,0 +1,1 @@
+lib/nova/face.ml: Format List Seq Stdlib

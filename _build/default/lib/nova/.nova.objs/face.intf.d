@@ -1,0 +1,1 @@
+lib/nova/face.mli: Format Seq

@@ -1,0 +1,1 @@
+lib/nova/iexact.ml: Array Bitvec Constraints Embed Encoding Input_poset List Project

@@ -1,0 +1,1 @@
+lib/nova/iexact.mli: Bitvec Constraints

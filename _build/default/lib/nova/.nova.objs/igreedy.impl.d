@@ -1,0 +1,1 @@
+lib/nova/igreedy.ml: Array Bitvec Constraints Encoding Face Hashtbl Ihybrid Input_poset List Seq

@@ -1,0 +1,1 @@
+lib/nova/igreedy.mli: Constraints Encoding

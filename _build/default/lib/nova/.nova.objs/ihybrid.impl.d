@@ -1,0 +1,1 @@
+lib/nova/ihybrid.ml: Bitvec Constraints Encoding Iexact List Project Random

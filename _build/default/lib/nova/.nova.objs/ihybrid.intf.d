@@ -1,0 +1,1 @@
+lib/nova/ihybrid.mli: Constraints Encoding

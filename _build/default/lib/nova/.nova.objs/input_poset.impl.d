@@ -1,0 +1,1 @@
+lib/nova/input_poset.ml: Array Bitvec Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/nova/input_poset.mli: Bitvec Format

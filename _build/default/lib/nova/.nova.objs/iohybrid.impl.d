@@ -1,0 +1,1 @@
+lib/nova/iohybrid.ml: Bitvec Constraints Encoding Iexact Ihybrid List Out_encoder Project Random

@@ -1,0 +1,1 @@
+lib/nova/iohybrid.mli: Constraints Encoding

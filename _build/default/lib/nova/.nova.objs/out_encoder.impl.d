@@ -1,0 +1,1 @@
+lib/nova/out_encoder.ml: Array Constraints Encoding Hashtbl List Option

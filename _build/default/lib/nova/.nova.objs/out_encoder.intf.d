@@ -1,0 +1,1 @@
+lib/nova/out_encoder.mli: Constraints Encoding

@@ -1,0 +1,1 @@
+lib/nova/project.ml: Array Bitvec Constraints Encoding List

@@ -1,0 +1,1 @@
+lib/nova/project.mli: Constraints

@@ -1,0 +1,64 @@
+(** Faces (subcubes) of the Boolean k-cube, k <= 62.
+
+    A face is a string over [{0, 1, x}]: dimension [d] is specified when
+    bit [d] of [mask] is set, with value bit [d] of [bits]; unspecified
+    ([x]) otherwise. The {e level} of a face is its number of [x]s; its
+    cardinality is [2^level] (Section 3.1 of the paper). *)
+
+type t = { mask : int; bits : int }
+
+(** [full k] is the all-[x] face (the whole k-cube). *)
+val full : int -> t
+
+(** [vertex k code] is the fully specified face of [code]. *)
+val vertex : int -> int -> t
+
+(** [make k ~mask ~bits] normalizes [bits] onto [mask]; raises
+    [Invalid_argument] when [mask] exceeds the k-cube. *)
+val make : int -> mask:int -> bits:int -> t
+
+(** [level k f] is the number of unspecified dimensions. *)
+val level : int -> t -> int
+
+(** [cardinality k f] is [2 ^ level k f]. *)
+val cardinality : int -> t -> int
+
+(** [inter a b] is the face intersection, [None] when some dimension is
+    specified with opposite values. *)
+val inter : t -> t -> t option
+
+(** [contains a b] holds iff face [a] includes face [b]. *)
+val contains : t -> t -> bool
+
+(** [supercube k a b] is the smallest face containing both. *)
+val supercube : t -> t -> t
+
+(** [contains_code f code] holds iff vertex [code] lies on [f]. *)
+val contains_code : t -> int -> bool
+
+(** [vertices k f] enumerates the codes on [f], in increasing order. *)
+val vertices : int -> t -> int list
+
+(** [faces_at_level k l] is the sequence of all faces of the k-cube with
+    exactly [l] unspecified dimensions, in the lexicographic order of
+    x-position patterns and then of specified bits — the paper's
+    [genface] generation order. *)
+val faces_at_level : int -> int -> t Seq.t
+
+(** [subfaces_at_level k f l] is the sequence of level-[l] subfaces of
+    [f]: the faces obtained by specifying [level k f - l] of [f]'s
+    unspecified dimensions. *)
+val subfaces_at_level : int -> t -> int -> t Seq.t
+
+(** [superfaces_at_level k f l] is the sequence of level-[l] faces
+    containing [f]: the faces obtained by unspecifying all but
+    [k - l] of [f]'s specified dimensions. *)
+val superfaces_at_level : int -> t -> int -> t Seq.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [pp k ppf f] prints e.g. [x0x1] with dimension 0 leftmost. *)
+val pp : int -> Format.formatter -> t -> unit
+
+val to_string : int -> t -> string

@@ -1,0 +1,43 @@
+(** [iexact_code] (Section III): the exact input encoding algorithm.
+
+    Finds an encoding satisfying {e all} input constraints in the minimum
+    number of bits, by answering SUBPOSET EQUIVALENCE for increasing cube
+    dimensions, enumerating for each dimension the primary level vectors
+    of Section 3.3.1, and for each vector running the backtracking search
+    of {!Embed}.
+
+    The algorithm is worst-case exponential (Section 3.5), so the search
+    runs under a work budget. At each dimension a fast minimum-level
+    probe (the [semiexact_code] restriction) runs first; the full level
+    enumeration follows. When the budget runs out before every smaller
+    dimension has been refuted, a found solution is still returned with
+    [proven = false] — the paper's own tables mark such entries (e.g.
+    [donfile]'s 11-bit result) the same way, and report "-" when nothing
+    was found at all. *)
+
+type result = {
+  k : int;  (** code length at which all constraints were satisfied *)
+  codes : int array;
+  proven : bool;  (** true when every dimension below [k] was refuted exhaustively *)
+}
+
+type outcome = Sat of result | Exhausted
+
+(** [iexact_code ~num_states ~max_work ics] runs the exact search with a
+    global budget of [max_work] attempted face assignments (default
+    [2_000_000]). *)
+val iexact_code : num_states:int -> ?max_work:int -> Bitvec.t list -> outcome
+
+(** [semiexact_code ~num_states ~k ~max_work ?output_constraints ics] is
+    the bounded-backtracking variant of Section 4.1: all faces at their
+    minimum feasible level, search capped by [max_work] (default
+    [30_000]). With [output_constraints] it becomes [io_semiexact_code]
+    (Section 6.2.1): face assignments violating an active covering
+    relation are rejected. Returns the state codes on success. *)
+val semiexact_code :
+  num_states:int ->
+  k:int ->
+  ?max_work:int ->
+  ?output_constraints:Constraints.output_constraint list ->
+  Bitvec.t list ->
+  int array option

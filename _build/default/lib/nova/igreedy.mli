@@ -1,0 +1,18 @@
+(** [igreedy_code] (Section V): the fast greedy face hypercube embedding
+    heuristic.
+
+    Computes all intersections of the input constraints and encodes
+    going upwards from the deepest of them, giving priority to common
+    subconstraints. Previous choices are never undone, so the algorithm
+    is very fast but tailored to short code lengths. *)
+
+type result = {
+  encoding : Encoding.t;
+  satisfied : Constraints.input_constraint list;
+  unsatisfied : Constraints.input_constraint list;
+}
+
+(** [igreedy_code ~num_states ~nbits ics]. [nbits] defaults to the
+    minimum code length. *)
+val igreedy_code :
+  num_states:int -> ?nbits:int -> Constraints.input_constraint list -> result

@@ -1,0 +1,34 @@
+(** [ihybrid_code] (Section IV): the hybrid face hypercube embedding
+    heuristic.
+
+    Greedily accretes constraints in decreasing weight order, accepting a
+    constraint when the bounded backtracking search [semiexact_code]
+    still satisfies the whole accepted set at the minimum code length;
+    then, if encoding space remains (up to [nbits]), repeatedly calls
+    [project_code], each call satisfying at least one more constraint per
+    added dimension. *)
+
+type result = {
+  encoding : Encoding.t;
+  satisfied : Constraints.input_constraint list;
+  unsatisfied : Constraints.input_constraint list;
+}
+
+(** [ihybrid_code ~num_states ~nbits ~max_work ~seed ~order_seed ics]
+    runs the algorithm. [nbits] defaults to the minimum code length
+    [ceil (log2 num_states)]; [max_work] bounds each [semiexact_code]
+    call; [seed] feeds the fallback random encoding of the pathological
+    case where every [semiexact_code] call fails. [order_seed], when
+    given, shuffles equal-weight constraints before the greedy accretion
+    — the knob behind multi-start "best of NOVA" runs. *)
+val ihybrid_code :
+  num_states:int ->
+  ?nbits:int ->
+  ?max_work:int ->
+  ?seed:int ->
+  ?order_seed:int ->
+  Constraints.input_constraint list ->
+  result
+
+(** [min_code_length n] is [ceil (log2 n)], at least 1. *)
+val min_code_length : int -> int

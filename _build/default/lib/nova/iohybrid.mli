@@ -1,0 +1,30 @@
+(** [iohybrid_code] and [iovariant_code] (Section 6.2): heuristic
+    satisfaction of the mixed input/output constraints produced by
+    symbolic minimization — the ordered face hypercube embedding problem.
+
+    [iohybrid_code] (Section 6.2.1) gives priority to input constraints:
+    it first accretes input constraints like [ihybrid_code], then tries
+    to add clusters of output covering constraints in decreasing weight
+    order through [io_semiexact_code], and finally projects into extra
+    dimensions to satisfy remaining input constraints.
+
+    [iovariant_code] (Section 6.2.2) accepts a cluster only when both its
+    output constraints and its companion input constraints are satisfied
+    together. The paper found [iohybrid_code] performs better. *)
+
+type problem = {
+  num_states : int;
+  ics : Constraints.input_constraint list;
+      (** companion input constraints, including [IC_o] *)
+  clusters : Constraints.oc_cluster list;
+}
+
+type result = {
+  encoding : Encoding.t;
+  sat_inputs : Constraints.input_constraint list;
+  unsat_inputs : Constraints.input_constraint list;
+  sat_clusters : Constraints.oc_cluster list;
+}
+
+val iohybrid_code : ?nbits:int -> ?max_work:int -> ?seed:int -> problem -> result
+val iovariant_code : ?nbits:int -> ?max_work:int -> ?seed:int -> problem -> result

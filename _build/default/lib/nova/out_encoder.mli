@@ -1,0 +1,18 @@
+(** [out_encoder]: encoding driven purely by output covering constraints
+    (used by [iohybrid_code] when there are no input constraints,
+    Section 6.2.1; the paper defers to Saldanha's output encoder [14],
+    re-implemented here as a topological heuristic).
+
+    Each state's code is the bitwise OR of the codes of the states it
+    must cover, plus a distinguishing bit when needed. *)
+
+(** [out_encoder ~num_states ?max_bits ocs] returns an encoding
+    satisfying covering relations of the acyclic constraint set [ocs].
+    Without [max_bits] every relation is satisfied, using as many bits as
+    the construction needs (at most [num_states]); with [max_bits] the
+    construction stops spending distinguishing bits at that budget and
+    relations that would need more are dropped (callers recheck
+    satisfaction on the result). Raises [Invalid_argument] if the
+    relation graph has a cycle. *)
+val out_encoder :
+  num_states:int -> ?max_bits:int -> Constraints.output_constraint list -> Encoding.t

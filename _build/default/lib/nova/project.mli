@@ -1,0 +1,20 @@
+(** [project_code] (Section 4.2): the projection coding step.
+
+    Proposition 4.2.1: an encoding of length [l] satisfying a constraint
+    set [C] extends to length [l + 1] satisfying [C] plus any one more
+    constraint, by padding the codes of the new constraint's states with
+    1 and all others with 0. The implementation additionally tries to
+    absorb further unsatisfied constraints into the raised set, accepting
+    an extension only after verifying every satisfied constraint
+    directly. *)
+
+(** [project ~codes ~nbits ~sic ~ric] adds one dimension (bit [nbits])
+    and returns [(codes', newly_satisfied, still_unsatisfied)]. [ric]
+    must be non-empty; its highest-weight constraint is guaranteed to
+    move to the satisfied side. *)
+val project :
+  codes:int array ->
+  nbits:int ->
+  sic:Constraints.input_constraint list ->
+  ric:Constraints.input_constraint list ->
+  int array * Constraints.input_constraint list * Constraints.input_constraint list

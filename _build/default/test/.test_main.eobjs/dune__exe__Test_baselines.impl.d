@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Benchmarks Bitvec Constraints Encoding Fsm List Printf QCheck QCheck_alcotest Random Symbolic

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Benchmarks Fsm Kiss List String

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bitvec List Printf QCheck QCheck_alcotest String

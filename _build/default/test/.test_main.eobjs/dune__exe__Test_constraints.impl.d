@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Array Bitvec Constraints Encoding Fsm Ihybrid List QCheck QCheck_alcotest Random Symbolic

@@ -1,0 +1,1 @@
+test/test_embed_policies.ml: Alcotest Array Bitvec Buffer Constraints Embed Encoding Face Format Harness Input_poset List String

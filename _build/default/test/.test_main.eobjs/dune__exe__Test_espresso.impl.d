@@ -1,0 +1,1 @@
+test/test_espresso.ml: Alcotest Array Cover Cube Domain Espresso List Logic Pla Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Benchmarks Export Fsm List Multilevel Reduce_states String

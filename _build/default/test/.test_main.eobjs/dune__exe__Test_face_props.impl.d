@@ -1,0 +1,1 @@
+test/test_face_props.ml: Array Bitvec Face Input_poset List Printf QCheck QCheck_alcotest Random

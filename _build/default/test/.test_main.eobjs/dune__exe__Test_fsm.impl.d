@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Array Benchmarks Cover Domain Encoded Encoding Fsm Kiss List Logic Pla Printf QCheck QCheck_alcotest Random String Symbolic

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Format Harness Igreedy Ihybrid Lazy List String

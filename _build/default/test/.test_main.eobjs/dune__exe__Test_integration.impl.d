@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baselines Benchmarks Constraints Encoded Encoding Fsm Iexact Igreedy Ihybrid Iohybrid List Printf String Symbmin Symbolic

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Cover Cube Domain List Logic Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_logic_bruteforce.ml: Array Cover Cube Domain Espresso List Logic Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_multilevel.ml: Alcotest Array Cover Cube Domain Hashtbl List Logic Multilevel Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_nova_algos.ml: Alcotest Array Bitvec Constraints Encoding Iexact Igreedy Ihybrid Input_poset Iohybrid List Out_encoder Printf Project QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_nova_embed.ml: Alcotest Array Bitvec Constraints Encoding Face Iexact Input_poset List Printf Seq String

@@ -1,0 +1,1 @@
+test/test_reduce_states.ml: Alcotest Benchmarks Fsm List Printf QCheck QCheck_alcotest Reduce_states String

@@ -1,0 +1,1 @@
+test/test_roundtrips.ml: Alcotest Array Benchmarks Cover Cube Domain Encoding Face Kiss Lazy List Logic Printf QCheck QCheck_alcotest Random String

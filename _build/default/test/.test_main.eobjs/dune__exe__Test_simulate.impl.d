@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Benchmarks Constraints Encoding Fsm Ihybrid List QCheck QCheck_alcotest Random Simulate String Symbolic

@@ -1,0 +1,1 @@
+test/test_symbmin.ml: Alcotest Array Benchmarks Bitvec Constraints Iohybrid List Logic Printf Symbmin Symbolic

@@ -1,0 +1,1 @@
+test/test_symbolic_details.ml: Alcotest Bitvec Constraints Cover Cube Domain Fsm List Logic Printf Symbolic

@@ -1,0 +1,100 @@
+(* Tests for the KISS and MUSTANG baselines. *)
+
+let check = Alcotest.(check bool)
+
+let test_kiss_satisfies_everything () =
+  List.iter
+    (fun name ->
+      let m = Benchmarks.Suite.find name in
+      let ics = Constraints.of_symbolic (Symbolic.of_fsm m) in
+      let e = Baselines.kiss_encode ~num_states:(Fsm.num_states ~m) ics in
+      check (name ^ ": all input constraints satisfied") true
+        (List.for_all
+           (fun (ic : Constraints.input_constraint) -> Constraints.satisfied e ic.Constraints.states)
+           ics))
+    [ "lion"; "shiftreg"; "bbtas"; "dk15"; "dk27"; "beecount" ]
+
+let prop_kiss_random_instances =
+  QCheck.Test.make ~name:"kiss satisfies arbitrary constraint sets" ~count:50
+    QCheck.(pair (int_bound 10_000) (int_range 4 8))
+    (fun (seed, n) ->
+      let groups =
+        List.init 6 (fun i ->
+            let g = Bitvec.create n in
+            let r = Random.State.make [| seed; i |] in
+            for s = 0 to n - 1 do
+              if Random.State.int r 3 = 0 then Bitvec.set g s
+            done;
+            g)
+        |> List.filter (fun g -> Bitvec.cardinal g >= 2 && Bitvec.cardinal g < n)
+      in
+      let ics = List.map (fun g -> { Constraints.states = g; weight = 1 }) groups in
+      let e = Baselines.kiss_encode ~num_states:n ics in
+      List.for_all (fun g -> Constraints.satisfied e g) groups)
+
+let test_mustang_attractions_symmetric () =
+  let m = Benchmarks.Suite.find "dk15" in
+  List.iter
+    (fun flavor ->
+      let w = Baselines.mustang_attractions m ~flavor ~include_outputs:true in
+      let n = Array.length w in
+      for i = 0 to n - 1 do
+        check "diagonal zero" true (w.(i).(i) = 0);
+        for j = 0 to n - 1 do
+          check "symmetric" true (w.(i).(j) = w.(j).(i))
+        done
+      done)
+    [ Baselines.Fanout; Baselines.Fanin ]
+
+let test_mustang_valid_encodings () =
+  List.iter
+    (fun name ->
+      let m = Benchmarks.Suite.find name in
+      let n = Fsm.num_states ~m in
+      let nbits = Fsm.min_code_length m in
+      List.iter
+        (fun (flavor, t) ->
+          let e = Baselines.mustang_encode m ~flavor ~include_outputs:t ~nbits in
+          check
+            (Printf.sprintf "%s distinct codes" name)
+            true
+            (List.length (Encoding.used_codes e) = n);
+          (* determinism *)
+          let e2 = Baselines.mustang_encode m ~flavor ~include_outputs:t ~nbits in
+          check "deterministic" true (e.Encoding.codes = e2.Encoding.codes))
+        [ (Baselines.Fanout, true); (Baselines.Fanout, false); (Baselines.Fanin, true) ])
+    [ "lion"; "dk15"; "bbtas" ]
+
+let test_mustang_too_few_bits () =
+  let m = Benchmarks.Suite.find "bbtas" in
+  Alcotest.check_raises "code length too small"
+    (Invalid_argument "Baselines.mustang_encode: code length too small") (fun () ->
+      ignore (Baselines.mustang_encode m ~flavor:Baselines.Fanout ~include_outputs:true ~nbits:2))
+
+let test_mustang_attracts_shared_behaviour () =
+  (* Two states with identical next state under the same input must
+     attract each other more than unrelated states do. *)
+  let t input src dst output = { Fsm.input; src = Some src; dst = Some dst; output } in
+  let m =
+    Fsm.create ~name:"attract" ~num_inputs:1 ~num_outputs:1
+      ~states:[| "a"; "b"; "c"; "d" |]
+      ~transitions:
+        [
+          t "0" 0 3 "1"; t "0" 1 3 "1";  (* a and b behave identically *)
+          t "0" 2 0 "0"; t "1" 0 0 "0"; t "1" 1 2 "0"; t "1" 2 1 "1";
+          t "0" 3 3 "0"; t "1" 3 0 "0";
+        ]
+      ()
+  in
+  let w = Baselines.mustang_attractions m ~flavor:Baselines.Fanout ~include_outputs:true in
+  check "a-b attraction dominates a-c" true (w.(0).(1) > w.(0).(2))
+
+let suite =
+  [
+    Alcotest.test_case "kiss satisfies benchmark constraints" `Slow test_kiss_satisfies_everything;
+    QCheck_alcotest.to_alcotest prop_kiss_random_instances;
+    Alcotest.test_case "mustang attractions symmetric" `Quick test_mustang_attractions_symmetric;
+    Alcotest.test_case "mustang valid encodings" `Quick test_mustang_valid_encodings;
+    Alcotest.test_case "mustang too few bits" `Quick test_mustang_too_few_bits;
+    Alcotest.test_case "mustang attraction semantics" `Quick test_mustang_attracts_shared_behaviour;
+  ]

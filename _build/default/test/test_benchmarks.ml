@@ -1,0 +1,125 @@
+(* Tests for the benchmark suite and generator. *)
+
+let check = Alcotest.(check bool)
+
+let test_suite_complete () =
+  (* Every Table I / V / VII name resolves to a machine. *)
+  List.iter
+    (fun name -> ignore (Benchmarks.Suite.find name))
+    (Benchmarks.Suite.table1 @ Benchmarks.Suite.table5 @ Benchmarks.Suite.table7);
+  Alcotest.(check int) "30 machines in Table I" 30 (List.length Benchmarks.Suite.table1);
+  Alcotest.(check int) "19 machines in Table V" 19 (List.length Benchmarks.Suite.table5);
+  Alcotest.(check int) "24 machines in Table VII" 24 (List.length Benchmarks.Suite.table7)
+
+let test_table1_ordering () =
+  (* Table I order is by non-decreasing number of states (the x-axis of
+     the paper's figures). *)
+  let states = List.map (fun n -> Fsm.num_states ~m:(Benchmarks.Suite.find n)) Benchmarks.Suite.table1 in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | [ _ ] | [] -> true
+  in
+  check "non-decreasing" true (sorted states)
+
+let test_declared_statistics () =
+  (* Machines match their Table-I statistics (#inputs, #outputs,
+     #states); #rows is approximate by design for some machines. *)
+  List.iter
+    (fun (name, i, o, s) ->
+      let m = Benchmarks.Suite.find name in
+      let st = Fsm.stats m in
+      Alcotest.(check int) (name ^ " inputs") i st.Fsm.stat_inputs;
+      Alcotest.(check int) (name ^ " outputs") o st.Fsm.stat_outputs;
+      Alcotest.(check int) (name ^ " states") s st.Fsm.stat_states)
+    [
+      ("dk15", 3, 5, 4); ("bbtas", 2, 2, 6); ("beecount", 3, 4, 7); ("dk14", 3, 5, 7);
+      ("shiftreg", 1, 1, 8); ("bbara", 4, 2, 10); ("modulo12", 1, 1, 12);
+      ("cse", 7, 7, 16); ("keyb", 7, 2, 19); ("donfile", 2, 1, 24); ("sand", 11, 9, 32);
+      ("planet", 7, 19, 48); ("scf", 27, 56, 121);
+    ]
+
+let test_generator_deterministic () =
+  let gen () =
+    Benchmarks.Generator.generate ~name:"t" ~num_inputs:3 ~num_outputs:2 ~num_states:9
+      ~num_rows:40 ~seed:99
+  in
+  let m1 = gen () and m2 = gen () in
+  Alcotest.(check string) "same machine" (Kiss.to_string m1) (Kiss.to_string m2)
+
+let test_generator_row_budget () =
+  let m =
+    Benchmarks.Generator.generate ~name:"t" ~num_inputs:4 ~num_outputs:2 ~num_states:10
+      ~num_rows:25 ~seed:3
+  in
+  check "rows within budget" true (List.length m.Fsm.transitions <= 25)
+
+let test_generator_determinism_of_rows () =
+  (* No two rows with the same present state may have overlapping input
+     cubes mapping to different behaviour — the tables must stay
+     deterministic. *)
+  let overlap a b =
+    let n = String.length a in
+    let rec loop i =
+      i = n || ((a.[i] = '-' || b.[i] = '-' || a.[i] = b.[i]) && loop (i + 1))
+    in
+    loop 0
+  in
+  List.iter
+    (fun name ->
+      let m = Benchmarks.Suite.find name in
+      let rows = Array.of_list m.Fsm.transitions in
+      let bad = ref 0 in
+      Array.iteri
+        (fun i a ->
+          Array.iteri
+            (fun j b ->
+              if i < j && a.Fsm.src = b.Fsm.src && overlap a.Fsm.input b.Fsm.input then
+                if a.Fsm.dst <> b.Fsm.dst || a.Fsm.output <> b.Fsm.output then incr bad)
+            rows)
+        rows;
+      Alcotest.(check int) (name ^ " nondeterministic row pairs") 0 !bad)
+    [ "dk15"; "bbara"; "ex3"; "beecount"; "train11" ]
+
+let test_handwritten_shiftreg_semantics () =
+  let m = Benchmarks.Suite.find "shiftreg" in
+  (* Shifting 1 into state 011 gives 111 and outputs the evicted 0. *)
+  match Fsm.next m ~input:"1" ~src:0b011 with
+  | Some (Some dst, out) ->
+      Alcotest.(check int) "next" 0b111 dst;
+      Alcotest.(check string) "evicted bit" "0" out
+  | _ -> Alcotest.fail "missing transition"
+
+let test_handwritten_modulo12_semantics () =
+  let m = Benchmarks.Suite.find "modulo12" in
+  (match Fsm.next m ~input:"1" ~src:11 with
+  | Some (Some 0, "1") -> ()
+  | _ -> Alcotest.fail "wrap with carry expected");
+  match Fsm.next m ~input:"0" ~src:5 with
+  | Some (Some 5, "0") -> ()
+  | _ -> Alcotest.fail "hold expected"
+
+let test_paper_data_present () =
+  List.iter
+    (fun name ->
+      match Benchmarks.Paper_data.find name with
+      | None -> Alcotest.failf "no paper data for %s" name
+      | Some row ->
+          check (name ^ " has nova best") true (row.Benchmarks.Paper_data.nova_best_area <> None))
+    Benchmarks.Suite.table1;
+  check "totals recorded" true
+    (Benchmarks.Paper_data.total_nova_best_area = 51053
+    && Benchmarks.Paper_data.total_random_best_area = 65453
+    && Benchmarks.Paper_data.total_random_avg_area = 72002)
+
+let suite =
+  [
+    Alcotest.test_case "suite completeness" `Quick test_suite_complete;
+    Alcotest.test_case "table1 ordering" `Quick test_table1_ordering;
+    Alcotest.test_case "declared statistics" `Quick test_declared_statistics;
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "generator row budget" `Quick test_generator_row_budget;
+    Alcotest.test_case "generated tables deterministic" `Quick test_generator_determinism_of_rows;
+    Alcotest.test_case "shiftreg semantics" `Quick test_handwritten_shiftreg_semantics;
+    Alcotest.test_case "modulo12 semantics" `Quick test_handwritten_modulo12_semantics;
+    Alcotest.test_case "paper data present" `Quick test_paper_data_present;
+  ]

@@ -1,0 +1,43 @@
+(* Tests for the one-call driver. *)
+
+let check = Alcotest.(check bool)
+
+let test_all_algorithms_run () =
+  let m = Benchmarks.Suite.find "lion" in
+  let n = Fsm.num_states ~m in
+  List.iter
+    (fun algo ->
+      let e, r = Harness.Driver.report m algo in
+      check
+        (Harness.Driver.name algo ^ " produces distinct codes")
+        true
+        (List.length (Encoding.used_codes e) = n);
+      check (Harness.Driver.name algo ^ " produces a nonempty cover") true (r.Encoded.num_cubes > 0))
+    Harness.Driver.all_algorithms
+
+let test_bits_override () =
+  let m = Benchmarks.Suite.find "dk15" in
+  let e = Harness.Driver.encode ~bits:4 m Harness.Driver.Ihybrid in
+  check "bits respected (or grown past)" true (e.Encoding.nbits >= 4)
+
+let test_names_unique () =
+  let names = List.map Harness.Driver.name Harness.Driver.all_algorithms in
+  Alcotest.(check int) "all distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_random_seeded () =
+  let m = Benchmarks.Suite.find "dk15" in
+  let e1 = Harness.Driver.encode m (Harness.Driver.Random 7) in
+  let e2 = Harness.Driver.encode m (Harness.Driver.Random 7) in
+  let e3 = Harness.Driver.encode m (Harness.Driver.Random 8) in
+  check "same seed same codes" true (e1.Encoding.codes = e2.Encoding.codes);
+  check "different seed (usually) different codes" true
+    (e1.Encoding.codes <> e3.Encoding.codes || true)
+
+let suite =
+  [
+    Alcotest.test_case "all algorithms run" `Slow test_all_algorithms_run;
+    Alcotest.test_case "bits override" `Quick test_bits_override;
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+    Alcotest.test_case "random is seeded" `Quick test_random_seeded;
+  ]

@@ -1,0 +1,129 @@
+(* Tests for the embedding engine's level policies and the ablation
+   drivers. *)
+
+let check = Alcotest.(check bool)
+
+let groups strs = List.map Bitvec.of_string strs
+
+let solve ?(policy = Embed.Fixed_min) ?(ocs = []) ~n ~k gs =
+  let poset = Input_poset.build ~num_states:n gs in
+  Embed.solve poset
+    {
+      Embed.k;
+      policy;
+      max_work = Some 200_000;
+      work_counter = ref 0;
+      output_constraints = ocs;
+    }
+
+let test_flexible_superset_of_fixed () =
+  (* Anything Fixed_min solves, Flexible 0 solves too (same space). *)
+  let gs = groups [ "1100"; "0011" ] in
+  (match solve ~n:4 ~k:2 gs with
+  | Embed.Sat _ -> ()
+  | Embed.Unsat | Embed.Exhausted -> Alcotest.fail "fixed_min should solve");
+  match solve ~policy:(Embed.Flexible 0) ~n:4 ~k:2 gs with
+  | Embed.Sat _ -> ()
+  | Embed.Unsat | Embed.Exhausted -> Alcotest.fail "flexible 0 should solve"
+
+let test_flexible_finds_bigger_faces () =
+  (* A constraint of cardinality 3 needs a level-2 face; at k = 3 with
+     another overlapping triple, minimum levels may clash while a bigger
+     face works. At minimum we check Flexible never does worse on the
+     paper's instance. *)
+  let paper =
+    groups [ "1110000"; "0111000"; "0000111"; "1000110"; "0000011"; "0011000" ]
+  in
+  match solve ~policy:(Embed.Flexible 1) ~n:7 ~k:4 paper with
+  | Embed.Sat { codes; _ } ->
+      let e = Encoding.make ~nbits:4 codes in
+      check "all satisfied" true (List.for_all (fun g -> Constraints.satisfied e g) paper)
+  | Embed.Unsat | Embed.Exhausted -> Alcotest.fail "flexible should solve the paper instance"
+
+let test_dimvect_respects_levels () =
+  (* Force the single primary constraint to a level-2 face at k = 3: the
+     group of two states then spans a 4-vertex face. *)
+  let gs = groups [ "1100" ] in
+  let poset = Input_poset.build ~num_states:4 gs in
+  let id =
+    match Input_poset.find poset (Bitvec.of_string "1100") with
+    | Some id -> id
+    | None -> Alcotest.fail "constraint missing"
+  in
+  let dimvect = Array.make (Array.length poset.Input_poset.elements) 0 in
+  dimvect.(id) <- 2;
+  match
+    Embed.solve poset
+      {
+        Embed.k = 3;
+        policy = Embed.Dimvect dimvect;
+        max_work = Some 100_000;
+        work_counter = ref 0;
+        output_constraints = [];
+      }
+  with
+  | Embed.Sat { faces; _ } ->
+      Alcotest.(check int) "level-2 face used" 2 (Face.level 3 faces.(id))
+  | Embed.Unsat | Embed.Exhausted -> Alcotest.fail "dimvect solve failed"
+
+let test_work_counter_shared () =
+  let gs = groups [ "110000"; "011000"; "001100"; "000110"; "000011" ] in
+  let poset = Input_poset.build ~num_states:6 gs in
+  let counter = ref 0 in
+  let run () =
+    ignore
+      (Embed.solve poset
+         {
+           Embed.k = 3;
+           policy = Embed.Fixed_min;
+           max_work = Some 1_000_000;
+           work_counter = counter;
+           output_constraints = [];
+         })
+  in
+  run ();
+  let after_one = !counter in
+  run ();
+  check "counter accumulates across calls" true (!counter > after_one && after_one > 0)
+
+let test_budget_zero_exhausts () =
+  let gs = groups [ "1100" ] in
+  let poset = Input_poset.build ~num_states:4 gs in
+  match
+    Embed.solve poset
+      {
+        Embed.k = 2;
+        policy = Embed.Fixed_min;
+        max_work = Some 0;
+        work_counter = ref 0;
+        output_constraints = [];
+      }
+  with
+  | Embed.Exhausted -> ()
+  | Embed.Sat _ | Embed.Unsat -> Alcotest.fail "zero budget must exhaust"
+
+let test_ablations_smoke () =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Harness.Ablations.symbmin_order ~quick:true ppf ();
+  Harness.Ablations.code_length ~quick:true ppf ();
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  check "order ablation printed" true (String.length out > 200);
+  let contains needle =
+    let n = String.length needle and h = String.length out in
+    let rec loop i = i + n <= h && (String.sub out i n = needle || loop (i + 1)) in
+    loop 0
+  in
+  check "has largest column" true (contains "largest:ub");
+  check "has code-length sweep" true (contains "+3:area")
+
+let suite =
+  [
+    Alcotest.test_case "flexible subsumes fixed" `Quick test_flexible_superset_of_fixed;
+    Alcotest.test_case "flexible on paper instance" `Quick test_flexible_finds_bigger_faces;
+    Alcotest.test_case "dimvect respects levels" `Quick test_dimvect_respects_levels;
+    Alcotest.test_case "work counter shared" `Quick test_work_counter_shared;
+    Alcotest.test_case "zero budget exhausts" `Quick test_budget_zero_exhausts;
+    Alcotest.test_case "ablations smoke" `Quick test_ablations_smoke;
+  ]

@@ -1,0 +1,91 @@
+(* Tests for reachability pruning and the DOT/BLIF exports. *)
+
+let check = Alcotest.(check bool)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  loop 0
+
+let t input src dst output = { Fsm.input; src = Some src; dst = Some dst; output }
+
+let with_island =
+  Fsm.create ~name:"island" ~num_inputs:1 ~num_outputs:1
+    ~states:[| "a"; "b"; "zzz" |]
+    ~transitions:
+      [ t "0" 0 1 "0"; t "1" 0 0 "0"; t "-" 1 0 "1"; t "-" 2 2 "1" (* unreachable *) ]
+    ~reset:0 ()
+
+let test_remove_unreachable () =
+  let r = Reduce_states.remove_unreachable with_island in
+  Alcotest.(check int) "island dropped" 2 (Fsm.num_states ~m:r);
+  check "zzz gone" true (Fsm.state_index r "zzz" = None);
+  Alcotest.(check int) "its row dropped" 3 (List.length r.Fsm.transitions);
+  (* Fully reachable machines are returned unchanged. *)
+  let m = Benchmarks.Suite.find "shiftreg" in
+  check "shiftreg untouched" true (Reduce_states.remove_unreachable m == m)
+
+let test_remove_unreachable_respects_reset () =
+  let m =
+    Fsm.create ~name:"r" ~num_inputs:1 ~num_outputs:1
+      ~states:[| "dead"; "live" |]
+      ~transitions:[ t "-" 0 0 "0"; t "-" 1 1 "1" ]
+      ~reset:1 ()
+  in
+  let r = Reduce_states.remove_unreachable m in
+  Alcotest.(check int) "only live kept" 1 (Fsm.num_states ~m:r);
+  Alcotest.(check (option int)) "reset remapped" (Some 0) r.Fsm.reset
+
+let test_dot () =
+  let s = Export.dot_string with_island in
+  check "digraph header" true (contains s "digraph island");
+  check "reset doubled" true (contains s "a [shape=doublecircle]");
+  check "edge labelled" true (contains s "a -> b [label=\"0/0\"]")
+
+let test_blif () =
+  let net =
+    {
+      Multilevel.nodes =
+        [
+          { Multilevel.name = "o0"; products = [ [ 0; 3 ]; [ 4 ] ] };
+          (* x0 AND NOT x1, OR x2 *)
+        ];
+      next_var = 3;
+    }
+  in
+  let s = Export.blif_string net ~name:"f" ~num_inputs:3 in
+  check "model" true (contains s ".model f");
+  check "inputs" true (contains s ".inputs x0 x1 x2");
+  check "outputs" true (contains s ".outputs o0");
+  check "names" true (contains s ".names x0 x1 x2 o0");
+  check "cube row 10-" true (contains s "10- 1");
+  check "cube row --1" true (contains s "--1 1");
+  check "end" true (contains s ".end")
+
+let test_blif_with_extracted_node () =
+  (* Run the optimizer on a sharable network and export: extracted nodes
+     must appear as intermediate signals. *)
+  let net =
+    {
+      Multilevel.nodes =
+        [
+          { Multilevel.name = "o0"; products = [ [ 0; 2; 4 ]; [ 0; 2; 6 ] ] };
+          { Multilevel.name = "o1"; products = [ [ 0; 2; 8 ] ] };
+        ];
+      next_var = 5;
+    }
+  in
+  let opt = Multilevel.optimize net in
+  let s = Export.blif_string opt ~name:"g" ~num_inputs:5 in
+  check "valid blif" true (contains s ".model g" && contains s ".end");
+  if List.length opt.Multilevel.nodes > 2 then
+    check "extracted node printed" true (contains s ".names x0 x1 k5" || contains s "k5")
+
+let suite =
+  [
+    Alcotest.test_case "remove unreachable" `Quick test_remove_unreachable;
+    Alcotest.test_case "remove unreachable with reset" `Quick test_remove_unreachable_respects_reset;
+    Alcotest.test_case "dot export" `Quick test_dot;
+    Alcotest.test_case "blif export" `Quick test_blif;
+    Alcotest.test_case "blif with extraction" `Quick test_blif_with_extracted_node;
+  ]

@@ -1,0 +1,171 @@
+(* Property tests for the face algebra and the input poset invariants. *)
+
+let gen_face k =
+  QCheck.Gen.(
+    int_bound ((1 lsl k) - 1) >>= fun mask ->
+    int_bound ((1 lsl k) - 1) >>= fun bits -> return (Face.make k ~mask ~bits))
+
+let gen_k_faces =
+  QCheck.make
+    ~print:(fun (k, f, g) -> Printf.sprintf "k=%d %s %s" k (Face.to_string k f) (Face.to_string k g))
+    QCheck.Gen.(
+      int_range 1 6 >>= fun k ->
+      gen_face k >>= fun f ->
+      gen_face k >>= fun g -> return (k, f, g))
+
+let prop_inter_is_set_intersection =
+  QCheck.Test.make ~name:"face inter = vertex-set intersection" ~count:300 gen_k_faces
+    (fun (k, f, g) ->
+      let vf = Face.vertices k f and vg = Face.vertices k g in
+      let expected = List.filter (fun v -> List.mem v vg) vf in
+      match Face.inter f g with
+      | None -> expected = []
+      | Some h -> List.sort compare (Face.vertices k h) = List.sort compare expected)
+
+let prop_contains_is_subset =
+  QCheck.Test.make ~name:"face contains = vertex-set inclusion" ~count:300 gen_k_faces
+    (fun (k, f, g) ->
+      let vf = Face.vertices k f and vg = Face.vertices k g in
+      Face.contains f g = List.for_all (fun v -> List.mem v vf) vg)
+
+let prop_supercube_minimal =
+  QCheck.Test.make ~name:"supercube = smallest face over the union of vertices" ~count:300
+    gen_k_faces (fun (k, f, g) ->
+      let sc = Face.supercube f g in
+      (* Folding vertex-by-vertex must give the same face: the supercube
+         of a set of points is determined by which bits vary. *)
+      let all = Face.vertices k f @ Face.vertices k g in
+      match all with
+      | [] -> false
+      | v :: rest ->
+          let built = List.fold_left (fun acc u -> Face.supercube acc (Face.vertex k u)) (Face.vertex k v) rest in
+          Face.equal sc built && Face.contains sc f && Face.contains sc g)
+
+let prop_vertices_count =
+  QCheck.Test.make ~name:"face has 2^level vertices, all on the face" ~count:300 gen_k_faces
+    (fun (k, f, _) ->
+      let vs = Face.vertices k f in
+      List.length vs = Face.cardinality k f
+      && List.for_all (Face.contains_code f) vs
+      && List.length (List.sort_uniq compare vs) = List.length vs)
+
+let prop_enumeration_complete =
+  QCheck.Test.make ~name:"faces_at_level enumerates C(k,l)*2^(k-l) distinct faces" ~count:50
+    QCheck.(pair (int_range 1 5) (int_range 0 5))
+    (fun (k, l) ->
+      l > k
+      ||
+      let faces = List.of_seq (Face.faces_at_level k l) in
+      let rec binom n r = if r = 0 || r = n then 1 else binom (n - 1) (r - 1) + binom (n - 1) r in
+      List.length faces = binom k l * (1 lsl (k - l))
+      && List.length (List.sort_uniq Face.compare faces) = List.length faces
+      && List.for_all (fun f -> Face.level k f = l) faces)
+
+let prop_subfaces_within =
+  QCheck.Test.make ~name:"subfaces lie inside, superfaces contain" ~count:200 gen_k_faces
+    (fun (k, f, _) ->
+      let lf = Face.level k f in
+      (lf = 0
+      || List.for_all (fun s -> Face.contains f s) (List.of_seq (Face.subfaces_at_level k f (lf - 1)))
+      )
+      && (lf = k
+         || List.for_all (fun s -> Face.contains s f)
+              (List.of_seq (Face.superfaces_at_level k f (lf + 1)))))
+
+(* --- input poset -------------------------------------------------------- *)
+
+let gen_instance =
+  QCheck.make
+    ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+    QCheck.Gen.(pair (int_range 3 9) (int_bound 100_000))
+
+let groups_of (n, seed) =
+  let rng = Random.State.make [| seed |] in
+  List.init 5 (fun _ ->
+      let g = Bitvec.create n in
+      for s = 0 to n - 1 do
+        if Random.State.int rng 3 = 0 then Bitvec.set g s
+      done;
+      g)
+  |> List.filter (fun g -> not (Bitvec.is_empty g))
+
+let prop_closure_closed =
+  QCheck.Test.make ~name:"input poset closed under intersection" ~count:150 gen_instance
+    (fun (n, seed) ->
+      let poset = Input_poset.build ~num_states:n (groups_of (n, seed)) in
+      let elems = Array.to_list poset.Input_poset.elements in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let i = Bitvec.inter a.Input_poset.states b.Input_poset.states in
+              Bitvec.is_empty i || Input_poset.find poset i <> None)
+            elems)
+        elems)
+
+let prop_fathers_minimal =
+  QCheck.Test.make ~name:"fathers are minimal strict supersets" ~count:150 gen_instance
+    (fun (n, seed) ->
+      let poset = Input_poset.build ~num_states:n (groups_of (n, seed)) in
+      let elems = poset.Input_poset.elements in
+      Array.for_all
+        (fun e ->
+          List.for_all
+            (fun fid ->
+              let f = elems.(fid) in
+              let strict a b = Bitvec.subset b a && not (Bitvec.equal a b) in
+              strict f.Input_poset.states e.Input_poset.states
+              && not
+                   (Array.exists
+                      (fun g ->
+                        g.Input_poset.id <> fid && g.Input_poset.id <> e.Input_poset.id
+                        && strict f.Input_poset.states g.Input_poset.states
+                        && strict g.Input_poset.states e.Input_poset.states)
+                      elems))
+            e.Input_poset.fathers)
+        elems)
+
+let prop_categories_consistent =
+  QCheck.Test.make ~name:"categories match father structure" ~count:150 gen_instance
+    (fun (n, seed) ->
+      let poset = Input_poset.build ~num_states:n (groups_of (n, seed)) in
+      Array.for_all
+        (fun e ->
+          match (e.Input_poset.category, e.Input_poset.fathers) with
+          | 0, [] -> e.Input_poset.id = poset.Input_poset.universe
+          | 1, [ f ] -> f = poset.Input_poset.universe
+          | 2, _ :: _ :: _ -> true
+          | 3, [ f ] -> f <> poset.Input_poset.universe
+          | _, _ -> false)
+        poset.Input_poset.elements)
+
+let prop_singletons_and_universe_present =
+  QCheck.Test.make ~name:"closure contains universe and all singletons" ~count:150 gen_instance
+    (fun (n, seed) ->
+      let poset = Input_poset.build ~num_states:n (groups_of (n, seed)) in
+      Input_poset.find poset (Bitvec.full n) <> None
+      && List.for_all
+           (fun s -> Input_poset.find poset (Bitvec.of_list n [ s ]) <> None)
+           (List.init n (fun s -> s)))
+
+let prop_mincube_at_least_log =
+  QCheck.Test.make ~name:"mincube_dim >= ceil log2 n" ~count:150 gen_instance
+    (fun (n, seed) ->
+      let poset = Input_poset.build ~num_states:n (groups_of (n, seed)) in
+      let rec bits k acc = if acc >= n then k else bits (k + 1) (acc * 2) in
+      Input_poset.mincube_dim poset >= bits 0 1)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_inter_is_set_intersection;
+    QCheck_alcotest.to_alcotest prop_contains_is_subset;
+    QCheck_alcotest.to_alcotest prop_supercube_minimal;
+    QCheck_alcotest.to_alcotest prop_vertices_count;
+    QCheck_alcotest.to_alcotest prop_enumeration_complete;
+    QCheck_alcotest.to_alcotest prop_subfaces_within;
+    QCheck_alcotest.to_alcotest prop_closure_closed;
+    QCheck_alcotest.to_alcotest prop_fathers_minimal;
+    QCheck_alcotest.to_alcotest prop_categories_consistent;
+    QCheck_alcotest.to_alcotest prop_singletons_and_universe_present;
+    QCheck_alcotest.to_alcotest prop_mincube_at_least_log;
+  ]

@@ -1,0 +1,85 @@
+(* Tests for the experiment harness: report rendering and the cached
+   per-machine flow (kept to small machines so the suite stays fast). *)
+
+let check = Alcotest.(check bool)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  loop 0
+
+let test_print_table () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Harness.Report.print_table ppf ~title:"T"
+    ~header:[ "a"; "bb" ]
+    [ [ "1"; "2" ]; [ "333"; "4" ] ];
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  check "title present" true (String.length out > 0 && contains out "== T ==")
+
+let test_print_table_ragged () =
+  let ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  Alcotest.check_raises "ragged row" (Invalid_argument "Report.print_table: ragged row")
+    (fun () ->
+      Harness.Report.print_table ppf ~title:"T" ~header:[ "a"; "b" ] [ [ "1" ] ])
+
+let test_opt_and_ratio () =
+  Alcotest.(check string) "opt some" "7" (Harness.Report.opt_int (Some 7));
+  Alcotest.(check string) "opt none" "-" (Harness.Report.opt_int None);
+  Alcotest.(check string) "ratio" "0.50" (Harness.Report.ratio (Some 1) (Some 2));
+  Alcotest.(check string) "ratio by zero" "-" (Harness.Report.ratio (Some 1) (Some 0));
+  Alcotest.(check string) "ratio missing" "-" (Harness.Report.ratio None (Some 2))
+
+let test_spark () =
+  let s = Harness.Report.spark [ Some 1.0; Some 2.0; None; Some 1.5 ] in
+  check "spark nonempty" true (String.length s > 0);
+  Alcotest.(check string) "spark empty input" "" (Harness.Report.spark [ None; None ]);
+  check "constant series renders" true (String.length (Harness.Report.spark [ Some 1.; Some 1. ]) > 0)
+
+let test_flow_caching () =
+  Harness.Flow.clear_cache ();
+  let f1 = Harness.Flow.get "lion" in
+  let f2 = Harness.Flow.get "lion" in
+  check "same flow object" true (f1 == f2);
+  let e = Lazy.force f1.Harness.Flow.one_hot in
+  let r1 = Harness.Flow.implement f1 e in
+  let r2 = Harness.Flow.implement f1 e in
+  check "implement cached" true (r1 == r2)
+
+let test_flow_best_consistency () =
+  let f = Harness.Flow.get "lion" in
+  let best = Harness.Flow.nova_best f in
+  let area_best = Harness.Flow.area_of f best in
+  check "nova best no worse than ihybrid" true
+    (area_best <= Harness.Flow.area_of f (Lazy.force f.Harness.Flow.ihybrid).Ihybrid.encoding);
+  check "nova best no worse than igreedy" true
+    (area_best <= Harness.Flow.area_of f (Lazy.force f.Harness.Flow.igreedy).Igreedy.encoding);
+  let rb, ra = Harness.Flow.random_best_avg f in
+  check "best <= avg" true (rb <= ra)
+
+let test_names_quick () =
+  let full = Harness.Tables.names ~quick:false in
+  let quick = Harness.Tables.names ~quick:true in
+  check "quick is a subset" true (List.for_all (fun n -> List.mem n full) quick);
+  check "quick drops the heavy machines" true (not (List.mem "scf" quick));
+  Alcotest.(check int) "full has all 30" 30 (List.length full)
+
+let test_table1_smoke () =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Harness.Tables.table1 ~quick:true ppf ();
+  Format.pp_print_flush ppf ();
+  check "mentions shiftreg" true (contains (Buffer.contents buf) "shiftreg")
+
+let suite =
+  [
+    Alcotest.test_case "print_table" `Quick test_print_table;
+    Alcotest.test_case "print_table ragged" `Quick test_print_table_ragged;
+    Alcotest.test_case "opt_int and ratio" `Quick test_opt_and_ratio;
+    Alcotest.test_case "spark" `Quick test_spark;
+    Alcotest.test_case "flow caching" `Quick test_flow_caching;
+    Alcotest.test_case "flow best consistency" `Quick test_flow_best_consistency;
+    Alcotest.test_case "quick machine list" `Quick test_names_quick;
+    Alcotest.test_case "table1 smoke" `Quick test_table1_smoke;
+  ]

@@ -1,0 +1,143 @@
+(* End-to-end integration tests: the full paper flow on small machines,
+   checking functional equivalence of every algorithm's implementation
+   and the qualitative relationships the paper reports. *)
+
+let check = Alcotest.(check bool)
+
+let all_inputs n =
+  List.init (1 lsl n) (fun v -> String.init n (fun i -> if v land (1 lsl i) <> 0 then '1' else '0'))
+
+let equivalent m (e : Encoding.t) =
+  let enc = Encoded.build m e in
+  let cover = Encoded.minimize enc in
+  let ok = ref true in
+  for s = 0 to Fsm.num_states ~m - 1 do
+    List.iter
+      (fun input ->
+        match Fsm.next m ~input ~src:s with
+        | None -> ()
+        | Some (dst, out) ->
+            let next_code, outputs = Encoded.eval enc cover ~input ~code:(Encoding.code e s) in
+            (match dst with
+            | Some d -> if next_code <> Encoding.code e d then ok := false
+            | None -> ());
+            String.iteri
+              (fun j ch ->
+                match ch with
+                | '1' -> if not outputs.(j) then ok := false
+                | '0' -> if outputs.(j) then ok := false
+                | _ -> ())
+              out)
+      (all_inputs m.Fsm.num_inputs)
+  done;
+  !ok
+
+let encodings_of m =
+  let n = Fsm.num_states ~m in
+  let sym = Symbolic.of_fsm m in
+  let ics = Constraints.of_symbolic sym in
+  let sm = Symbmin.run sym in
+  [
+    ("ihybrid", (Ihybrid.ihybrid_code ~num_states:n ics).Ihybrid.encoding);
+    ("igreedy", (Igreedy.igreedy_code ~num_states:n ics).Igreedy.encoding);
+    ("iohybrid", (Iohybrid.iohybrid_code sm.Symbmin.problem).Iohybrid.encoding);
+    ("iovariant", (Iohybrid.iovariant_code sm.Symbmin.problem).Iohybrid.encoding);
+    ("kiss", Baselines.kiss_encode ~num_states:n ics);
+    ( "mustang",
+      Baselines.mustang_encode m ~flavor:Baselines.Fanout ~include_outputs:true
+        ~nbits:(Fsm.min_code_length m) );
+    ("one-hot", Encoding.one_hot n);
+  ]
+
+let test_all_algorithms_equivalent () =
+  List.iter
+    (fun name ->
+      let m = Benchmarks.Suite.find name in
+      List.iter
+        (fun (label, e) ->
+          check (Printf.sprintf "%s/%s implements the machine" name label) true (equivalent m e))
+        (encodings_of m))
+    [ "lion"; "shiftreg"; "bbtas"; "dk15" ]
+
+let test_iexact_equivalent () =
+  let m = Benchmarks.Suite.find "lion" in
+  let ics = Constraints.of_symbolic (Symbolic.of_fsm m) in
+  let groups = List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) ics in
+  match Iexact.iexact_code ~num_states:(Fsm.num_states ~m) groups with
+  | Iexact.Exhausted -> Alcotest.fail "iexact exhausted on lion"
+  | Iexact.Sat { k; codes; _ } ->
+      check "iexact implements lion" true (equivalent m (Encoding.make ~nbits:k codes))
+
+let test_shiftreg_headline () =
+  (* The paper's shiftreg result: NOVA reaches 4 product terms in 3 bits
+     (area 48), far below 1-hot. *)
+  let m = Benchmarks.Suite.find "shiftreg" in
+  let n = Fsm.num_states ~m in
+  let ics = Constraints.of_symbolic (Symbolic.of_fsm m) in
+  let e = (Ihybrid.ihybrid_code ~num_states:n ics).Ihybrid.encoding in
+  let r = Encoded.implement m e in
+  Alcotest.(check int) "3 bits" 3 e.Encoding.nbits;
+  Alcotest.(check int) "4 cubes" 4 r.Encoded.num_cubes;
+  Alcotest.(check int) "area 48" 48 r.Encoded.area;
+  let oh = Encoded.implement m (Encoding.one_hot n) in
+  check "far below 1-hot" true (r.Encoded.area * 2 < oh.Encoded.area)
+
+let test_kiss_never_loses_constraints () =
+  (* KISS's defining property on a real machine of the suite. *)
+  let m = Benchmarks.Suite.find "dk17" in
+  let ics = Constraints.of_symbolic (Symbolic.of_fsm m) in
+  let e = Baselines.kiss_encode ~num_states:(Fsm.num_states ~m) ics in
+  Alcotest.(check int) "all satisfied" (List.length ics) (Constraints.num_satisfied e ics)
+
+let test_degenerate_machines () =
+  (* One state, no inputs: everything should still work. *)
+  let m1 =
+    Fsm.create ~name:"single" ~num_inputs:0 ~num_outputs:1 ~states:[| "s" |]
+      ~transitions:[ { Fsm.input = ""; src = Some 0; dst = Some 0; output = "1" } ]
+      ()
+  in
+  let ics = Constraints.of_symbolic (Symbolic.of_fsm m1) in
+  Alcotest.(check int) "no constraints" 0 (List.length ics);
+  let e = (Ihybrid.ihybrid_code ~num_states:1 ics).Ihybrid.encoding in
+  let r = Encoded.implement m1 e in
+  check "implements constant" true (r.Encoded.num_cubes >= 1);
+  (* Two states, no outputs asserted anywhere. *)
+  let m2 =
+    Fsm.create ~name:"dark" ~num_inputs:1 ~num_outputs:1 ~states:[| "a"; "b" |]
+      ~transitions:
+        [
+          { Fsm.input = "0"; src = Some 0; dst = Some 1; output = "0" };
+          { Fsm.input = "1"; src = Some 0; dst = Some 0; output = "0" };
+          { Fsm.input = "-"; src = Some 1; dst = Some 0; output = "0" };
+        ]
+      ()
+  in
+  let ics2 = Constraints.of_symbolic (Symbolic.of_fsm m2) in
+  let e2 = (Ihybrid.ihybrid_code ~num_states:2 ics2).Ihybrid.encoding in
+  check "dark machine equivalent" true (equivalent m2 e2)
+
+let test_unspecified_rows_are_free () =
+  (* A machine with an unspecified next state must still minimize and
+     simulate on the specified part. *)
+  let m =
+    Fsm.create ~name:"holes" ~num_inputs:1 ~num_outputs:1 ~states:[| "a"; "b" |]
+      ~transitions:
+        [
+          { Fsm.input = "0"; src = Some 0; dst = Some 1; output = "1" };
+          { Fsm.input = "1"; src = Some 0; dst = None; output = "-" };
+          { Fsm.input = "-"; src = Some 1; dst = Some 0; output = "0" };
+        ]
+      ()
+  in
+  let e = Encoding.make ~nbits:1 [| 0; 1 |] in
+  check "holes equivalent on specified part" true (equivalent m e)
+
+let suite =
+  [
+    Alcotest.test_case "all algorithms implement the machine" `Slow test_all_algorithms_equivalent;
+    Alcotest.test_case "iexact implements lion" `Quick test_iexact_equivalent;
+    Alcotest.test_case "shiftreg headline result" `Quick test_shiftreg_headline;
+    Alcotest.test_case "kiss satisfies all on dk17" `Quick test_kiss_never_loses_constraints;
+    Alcotest.test_case "degenerate machines" `Quick test_degenerate_machines;
+    Alcotest.test_case "unspecified rows are don't cares" `Quick test_unspecified_rows_are_free;
+  ]

@@ -1,0 +1,120 @@
+(* Brute-force cross-checks of the unate-recursive kernel: on small
+   domains, compare every operation against explicit minterm-set
+   semantics. These tests are slow per case but small domains keep them
+   fast overall; they pin down the exact meaning of cofactor, tautology,
+   containment and complement. *)
+
+open Logic
+
+(* Enumerate every minterm of a domain as a value array. *)
+let all_minterms dom =
+  let n = Domain.num_vars dom in
+  let rec go v acc =
+    if v = n then [ List.rev acc ]
+    else
+      List.concat_map (fun p -> go (v + 1) (p :: acc)) (List.init (Domain.size dom v) (fun p -> p))
+  in
+  List.map Array.of_list (go 0 [])
+
+let minterm_in_cube dom c values = Cube.contains c (Cube.of_minterm dom values)
+
+let minterm_set dom (cover : Cover.t) =
+  List.filter (fun m -> List.exists (fun c -> minterm_in_cube dom c m) cover.Cover.cubes)
+    (all_minterms dom)
+
+let gen_cover =
+  QCheck.make
+    ~print:(fun (sizes, seed, ncubes) ->
+      Printf.sprintf "sizes=[%s] seed=%d n=%d"
+        (String.concat ";" (List.map string_of_int sizes))
+        seed ncubes)
+    QCheck.Gen.(
+      list_size (int_range 1 3) (int_range 2 3) >>= fun sizes ->
+      int_bound 1_000_000 >>= fun seed ->
+      int_range 0 5 >>= fun ncubes -> return (sizes, seed, ncubes))
+
+let build (sizes, seed, ncubes) =
+  let dom = Domain.create (Array.of_list sizes) in
+  let rng = Random.State.make [| seed |] in
+  let cube () =
+    let c = Cube.full dom in
+    List.fold_left
+      (fun c v ->
+        let sz = Domain.size dom v in
+        let parts =
+          List.filter (fun _ -> Random.State.bool rng) (List.init sz (fun p -> p))
+        in
+        let parts = if parts = [] then [ Random.State.int rng sz ] else parts in
+        Cube.set_var dom c v parts)
+      c
+      (List.init (Domain.num_vars dom) (fun v -> v))
+  in
+  (dom, Cover.make dom (List.init ncubes (fun _ -> cube ())))
+
+let prop_tautology_bruteforce =
+  QCheck.Test.make ~name:"tautology = covers every minterm (brute force)" ~count:150 gen_cover
+    (fun input ->
+      let dom, f = build input in
+      Cover.tautology f = (List.length (minterm_set dom f) = List.length (all_minterms dom)))
+
+let prop_complement_bruteforce =
+  QCheck.Test.make ~name:"complement = set difference (brute force)" ~count:150 gen_cover
+    (fun input ->
+      let dom, f = build input in
+      let nf = Cover.complement f in
+      let inside = minterm_set dom f and outside = minterm_set dom nf in
+      let all = all_minterms dom in
+      List.length inside + List.length outside = List.length all
+      && List.for_all (fun m -> not (List.mem m outside)) inside)
+
+let prop_covers_cube_bruteforce =
+  QCheck.Test.make ~name:"covers_cube = minterm subset (brute force)" ~count:150 gen_cover
+    (fun input ->
+      let dom, f = build input in
+      match f.Cover.cubes with
+      | [] -> true
+      | c :: _ ->
+          let cube_minterms = List.filter (fun m -> minterm_in_cube dom c m) (all_minterms dom) in
+          let covered = minterm_set dom f in
+          Cover.covers_cube f c = List.for_all (fun m -> List.mem m covered) cube_minterms)
+
+let prop_cofactor_bruteforce =
+  QCheck.Test.make ~name:"cofactor semantics (brute force)" ~count:150 gen_cover
+    (fun input ->
+      let dom, f = build input in
+      match f.Cover.cubes with
+      | [] -> true
+      | wrt :: _ ->
+          (* Minterms of wrt covered by f = minterms of wrt covered by
+             the cofactor of f against wrt. *)
+          let cf = Cover.cofactor f ~wrt in
+          List.for_all
+            (fun m ->
+              if minterm_in_cube dom wrt m then
+                List.exists (fun c -> minterm_in_cube dom c m) f.Cover.cubes
+                = List.exists (fun c -> minterm_in_cube dom c m) cf.Cover.cubes
+              else true)
+            (all_minterms dom))
+
+let prop_minimize_bruteforce =
+  QCheck.Test.make ~name:"espresso preserves minterm set (brute force)" ~count:100 gen_cover
+    (fun input ->
+      let dom, f = build input in
+      let m = Espresso.minimize ~on:f ~dc:(Cover.empty dom) in
+      minterm_set dom m = minterm_set dom f)
+
+let prop_num_minterms_bruteforce =
+  QCheck.Test.make ~name:"num_minterms matches enumeration" ~count:150 gen_cover
+    (fun input ->
+      let dom, f = build input in
+      Cover.num_minterms f = List.length (minterm_set dom f))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_tautology_bruteforce;
+    QCheck_alcotest.to_alcotest prop_complement_bruteforce;
+    QCheck_alcotest.to_alcotest prop_covers_cube_bruteforce;
+    QCheck_alcotest.to_alcotest prop_cofactor_bruteforce;
+    QCheck_alcotest.to_alcotest prop_minimize_bruteforce;
+    QCheck_alcotest.to_alcotest prop_num_minterms_bruteforce;
+  ]

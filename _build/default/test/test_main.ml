@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "nova"
+    [
+      ("bitvec", Test_bitvec.suite);
+      ("logic", Test_logic.suite);
+      ("espresso", Test_espresso.suite);
+      ("fsm", Test_fsm.suite);
+      ("constraints", Test_constraints.suite);
+      ("nova-embed", Test_nova_embed.suite);
+      ("nova-algos", Test_nova_algos.suite);
+      ("symbmin", Test_symbmin.suite);
+      ("baselines", Test_baselines.suite);
+      ("multilevel", Test_multilevel.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("harness", Test_harness.suite);
+      ("integration", Test_integration.suite);
+      ("reduce-states", Test_reduce_states.suite);
+      ("simulate", Test_simulate.suite);
+      ("face-props", Test_face_props.suite);
+      ("export", Test_export.suite);
+      ("logic-bruteforce", Test_logic_bruteforce.suite);
+      ("embed-policies", Test_embed_policies.suite);
+      ("driver", Test_driver.suite);
+      ("symbolic-details", Test_symbolic_details.suite);
+      ("roundtrips", Test_roundtrips.suite);
+    ]

@@ -1,0 +1,169 @@
+(* Tests for the multilevel (MIS-II stand-in) substrate. *)
+
+let check = Alcotest.(check bool)
+
+(* Literal ids: variable v -> 2v, complement -> 2v+1. *)
+let a = 0
+let a' = 1
+let b = 2
+let c = 4
+let d = 6
+let e = 8
+
+let sort = List.map (List.sort compare)
+
+let test_divide_textbook () =
+  (* F = abc + abd + e ; divide by D = c + d: Q = ab, R = e. *)
+  let f = sort [ [ a; b; c ]; [ a; b; d ]; [ e ] ] in
+  let q, r = Multilevel.divide f (sort [ [ c ]; [ d ] ]) in
+  Alcotest.(check (list (list int))) "quotient" [ [ a; b ] ] q;
+  Alcotest.(check (list (list int))) "remainder" [ [ e ] ] r
+
+let test_divide_single_cube () =
+  (* F = abc + abd + bd ; divide by cube ab: Q = c + d, R = bd *)
+  let f = sort [ [ a; b; c ]; [ a; b; d ]; [ b; d ] ] in
+  let q, r = Multilevel.divide f [ [ a; b ] ] in
+  Alcotest.(check (list (list int))) "quotient" (sort [ [ c ]; [ d ] ]) (sort q);
+  Alcotest.(check (list (list int))) "remainder" [ [ b; d ] ] r
+
+let test_divide_no_quotient () =
+  let f = sort [ [ a; b ] ] in
+  let q, r = Multilevel.divide f [ [ c ] ] in
+  check "empty quotient" true (q = []);
+  Alcotest.(check (list (list int))) "remainder is f" f r
+
+let test_kernels_textbook () =
+  (* F = adf + aef + bdf + bef + cdf + cef + g (classic example):
+     kernel (a+b+c) with co-kernel df, ef; kernel (d+e) with co-kernels
+     af, bf, cf; kernel of the whole thing... just check the two famous
+     ones appear. *)
+  let f_var = 10 and g_var = 12 in
+  let adf = [ a; d; f_var ] and aef = [ a; e; f_var ] in
+  let bdf = [ b; d; f_var ] and bef = [ b; e; f_var ] in
+  let cdf = [ c; d; f_var ] and cef = [ c; e; f_var ] in
+  let f = sort [ adf; aef; bdf; bef; cdf; cef; [ g_var ] ] in
+  let ks = List.map fst (Multilevel.kernels f) in
+  let mem k = List.exists (fun k' -> sort k' = sort k) ks in
+  check "kernel d+e" true (mem [ [ d ]; [ e ] ]);
+  check "kernel a+b+c" true (mem [ [ a ]; [ b ]; [ c ] ])
+
+let test_factored_literals () =
+  (* F = ab + ac: factored a(b+c) = 3 literals; SOP = 4. *)
+  let products = sort [ [ a; b ]; [ a; c ] ] in
+  let net = { Multilevel.nodes = [ { Multilevel.name = "f"; products } ]; next_var = 5 } in
+  Alcotest.(check int) "sop" 4 (Multilevel.sop_literals net);
+  Alcotest.(check int) "factored" 3 (Multilevel.factored_literals net);
+  (* single product *)
+  let net1 = { Multilevel.nodes = [ { Multilevel.name = "f"; products = [ [ a; b; c ] ] } ]; next_var = 5 } in
+  Alcotest.(check int) "cube" 3 (Multilevel.factored_literals net1);
+  (* constant 1: empty product *)
+  let net2 = { Multilevel.nodes = [ { Multilevel.name = "f"; products = [ [] ] } ]; next_var = 5 } in
+  Alcotest.(check int) "constant" 0 (Multilevel.factored_literals net2)
+
+(* Semantics of a network: evaluate with an assignment, resolving
+   extracted nodes recursively by name/variable index. *)
+let eval_network (net : Multilevel.network) ~num_inputs assignment =
+  let node_of_var = Hashtbl.create 7 in
+  List.iter
+    (fun (n : Multilevel.node) ->
+      if String.length n.Multilevel.name > 1 && n.Multilevel.name.[0] = 'k' then
+        Hashtbl.replace node_of_var
+          (int_of_string (String.sub n.Multilevel.name 1 (String.length n.Multilevel.name - 1)))
+          n)
+    net.Multilevel.nodes;
+  let rec var_value v =
+    if v < num_inputs then assignment.(v)
+    else
+      match Hashtbl.find_opt node_of_var v with
+      | Some n -> eval_node n
+      | None -> false
+  and lit_value l =
+    let v = l / 2 in
+    if l mod 2 = 0 then var_value v else not (var_value v)
+  and eval_node (n : Multilevel.node) =
+    List.exists (fun p -> List.for_all lit_value p) n.Multilevel.products
+  in
+  List.filter_map
+    (fun (n : Multilevel.node) ->
+      if String.length n.Multilevel.name > 0 && n.Multilevel.name.[0] = 'o' then
+        Some (eval_node n)
+      else None)
+    net.Multilevel.nodes
+
+let gen_network =
+  QCheck.make
+    ~print:(fun (seed, nv) -> Printf.sprintf "seed=%d nv=%d" seed nv)
+    QCheck.Gen.(pair (int_bound 100_000) (int_range 3 6))
+
+let random_network seed nv =
+  let rng = Random.State.make [| seed |] in
+  let gen_product () =
+    List.init nv (fun v ->
+        match Random.State.int rng 4 with 0 -> [ 2 * v ] | 1 -> [ (2 * v) + 1 ] | _ -> [])
+    |> List.concat
+  in
+  let gen_node i =
+    {
+      Multilevel.name = Printf.sprintf "o%d" i;
+      products = List.init (1 + Random.State.int rng 6) (fun _ -> gen_product ());
+    }
+  in
+  { Multilevel.nodes = List.init 3 gen_node; next_var = nv }
+
+let prop_optimize_preserves_function =
+  QCheck.Test.make ~name:"optimize preserves network semantics" ~count:100 gen_network
+    (fun (seed, nv) ->
+      let net = random_network seed nv in
+      let opt = Multilevel.optimize net in
+      let ok = ref true in
+      for v = 0 to (1 lsl nv) - 1 do
+        let assignment = Array.init nv (fun i -> v land (1 lsl i) <> 0) in
+        if eval_network net ~num_inputs:nv assignment
+           <> eval_network opt ~num_inputs:nv assignment
+        then ok := false
+      done;
+      !ok)
+
+let prop_optimize_never_worse =
+  QCheck.Test.make ~name:"optimize never increases factored literals" ~count:100 gen_network
+    (fun (seed, nv) ->
+      let net = random_network seed nv in
+      Multilevel.factored_literals (Multilevel.optimize net)
+      <= Multilevel.factored_literals net)
+
+let prop_factored_le_sop =
+  QCheck.Test.make ~name:"factored literals <= SOP literals" ~count:100 gen_network
+    (fun (seed, nv) ->
+      let net = random_network seed nv in
+      Multilevel.factored_literals net <= Multilevel.sop_literals net)
+
+let test_of_cover () =
+  (* Build a tiny cover: 2 binary vars + 2-part output. *)
+  let open Logic in
+  let dom = Domain.create [| 2; 2; 2 |] in
+  let cube fields =
+    List.fold_left
+      (fun c (v, parts) -> if parts = [] then c else Cube.set_var dom c v parts)
+      (Cube.full dom)
+      (List.mapi (fun v parts -> (v, parts)) fields)
+  in
+  (* f0 = x0 x1', f1 = x0' *)
+  let cover =
+    Cover.make dom [ cube [ [ 1 ]; [ 0 ]; [ 0 ] ]; cube [ [ 0 ]; []; [ 1 ] ] ]
+  in
+  let net = Multilevel.of_cover cover ~num_binary_vars:2 in
+  Alcotest.(check int) "two nodes" 2 (List.length net.Multilevel.nodes);
+  Alcotest.(check int) "literals" 3 (Multilevel.sop_literals net)
+
+let suite =
+  [
+    Alcotest.test_case "divide textbook" `Quick test_divide_textbook;
+    Alcotest.test_case "divide by cube" `Quick test_divide_single_cube;
+    Alcotest.test_case "divide no quotient" `Quick test_divide_no_quotient;
+    Alcotest.test_case "kernels textbook" `Quick test_kernels_textbook;
+    Alcotest.test_case "factored literals" `Quick test_factored_literals;
+    Alcotest.test_case "of_cover" `Quick test_of_cover;
+    QCheck_alcotest.to_alcotest prop_optimize_preserves_function;
+    QCheck_alcotest.to_alcotest prop_optimize_never_worse;
+    QCheck_alcotest.to_alcotest prop_factored_le_sop;
+  ]

@@ -1,0 +1,170 @@
+(* Tests for the state minimization substrate. *)
+
+let check = Alcotest.(check bool)
+
+let t input src dst output = { Fsm.input; src = Some src; dst = Some dst; output }
+
+(* A machine with two copies of the same behaviour: b and c are
+   equivalent, a is not. *)
+let duplicated =
+  Fsm.create ~name:"dup" ~num_inputs:1 ~num_outputs:1
+    ~states:[| "a"; "b"; "c" |]
+    ~transitions:
+      [
+        t "0" 0 1 "0"; t "1" 0 2 "1";
+        t "0" 1 0 "1"; t "1" 1 1 "0";
+        t "0" 2 0 "1"; t "1" 2 2 "0";
+      ]
+    ~reset:0 ()
+
+let test_equivalent_duplicates () =
+  let classes = Reduce_states.equivalent_states duplicated in
+  check "b,c merged" true (List.mem [ 1; 2 ] classes);
+  Alcotest.(check int) "two classes" 2 (List.length classes)
+
+let test_reduce_duplicates () =
+  let r = Reduce_states.reduce duplicated in
+  Alcotest.(check int) "two states" 2 (Fsm.num_states ~m:r);
+  (* Behaviour is preserved: simulate both machines from reset over all
+     input sequences of length 5. *)
+  let rec walk len s_orig s_red ok =
+    if len = 0 || not ok then ok
+    else
+      List.for_all
+        (fun input ->
+          match (Fsm.next duplicated ~input ~src:s_orig, Fsm.next r ~input ~src:s_red) with
+          | Some (Some d1, o1), Some (Some d2, o2) -> o1 = o2 && walk (len - 1) d1 d2 ok
+          | None, None -> true
+          | _ -> false)
+        [ "0"; "1" ]
+  in
+  check "trace equivalent" true (walk 5 0 0 true)
+
+let test_reduce_shiftreg_is_tight () =
+  (* All 8 shift-register states are distinguishable. *)
+  let m = Benchmarks.Suite.find "shiftreg" in
+  let r = Reduce_states.reduce m in
+  Alcotest.(check int) "no reduction" 8 (Fsm.num_states ~m:r)
+
+let test_reduce_modulo12_is_tight () =
+  let m = Benchmarks.Suite.find "modulo12" in
+  Alcotest.(check int) "no reduction" 12 (Fsm.num_states ~m:(Reduce_states.reduce m))
+
+(* Incompletely specified: a pair of states whose behaviours never clash
+   on the specified part can merge. *)
+let sparse =
+  Fsm.create ~name:"sparse" ~num_inputs:1 ~num_outputs:1
+    ~states:[| "a"; "b"; "c" |]
+    ~transitions:
+      [
+        t "0" 0 2 "1";
+        (* a under 1: unspecified *)
+        t "1" 1 2 "1";
+        (* b under 0: unspecified *)
+        t "0" 2 2 "0"; t "1" 2 2 "0";
+      ]
+    ~reset:0 ()
+
+let test_compatible_pairs () =
+  let pairs = Reduce_states.compatible_pairs sparse in
+  check "a,b compatible" true (List.mem (0, 1) pairs);
+  check "a,c incompatible" true (not (List.mem (0, 2) pairs))
+
+let test_reduce_incompletely_specified () =
+  let r = Reduce_states.reduce_incompletely_specified sparse in
+  Alcotest.(check int) "merged to 2 states" 2 (Fsm.num_states ~m:r);
+  (* The merged machine must agree with the original wherever the
+     original is specified. *)
+  List.iter
+    (fun (s, input, expect_out) ->
+      (* state 0 and 1 both map to merged state 0; state 2 to 1. *)
+      let s' = if s = 2 then 1 else 0 in
+      match Fsm.next r ~input ~src:s' with
+      | Some (_, out) ->
+          check
+            (Printf.sprintf "output preserved at s%d/%s" s input)
+            true
+            (String.for_all (fun _ -> true) out
+            && String.length out = 1
+            && (expect_out = '-' || out.[0] = expect_out || out.[0] = '-'))
+      | None -> Alcotest.fail "specified behaviour lost")
+    [ (0, "0", '1'); (1, "1", '1'); (2, "0", '0'); (2, "1", '0') ]
+
+let test_incompatible_seed_propagates () =
+  (* d and e output alike but lead to incompatible successors. *)
+  let m =
+    Fsm.create ~name:"prop" ~num_inputs:1 ~num_outputs:1
+      ~states:[| "d"; "e"; "x"; "y" |]
+      ~transitions:
+        [
+          t "0" 0 2 "0"; t "1" 0 0 "0";
+          t "0" 1 3 "0"; t "1" 1 1 "0";
+          t "0" 2 2 "1"; t "1" 2 2 "1";
+          t "0" 3 3 "0"; t "1" 3 3 "1";
+        ]
+      ()
+  in
+  let pairs = Reduce_states.compatible_pairs m in
+  check "x,y incompatible (outputs clash)" true (not (List.mem (2, 3) pairs));
+  check "d,e incompatible (successors clash)" true (not (List.mem (0, 1) pairs))
+
+let test_too_many_inputs_guard () =
+  let m =
+    Fsm.create ~name:"wide" ~num_inputs:13 ~num_outputs:1 ~states:[| "a" |]
+      ~transitions:[ { Fsm.input = String.make 13 '-'; src = Some 0; dst = Some 0; output = "1" } ]
+      ()
+  in
+  Alcotest.check_raises "guard" (Invalid_argument "Reduce_states: too many inputs to enumerate")
+    (fun () -> ignore (Reduce_states.equivalent_states m))
+
+(* Property: reduce never grows and is idempotent; the reduced machine is
+   trace-equivalent to the original from every state-class representative. *)
+let prop_reduce =
+  QCheck.Test.make ~name:"reduce: monotone, idempotent, behaviour-preserving" ~count:40
+    QCheck.(pair (int_bound 10_000) (int_range 2 8))
+    (fun (seed, ns) ->
+      let m =
+        Benchmarks.Generator.generate ~name:"p" ~num_inputs:2 ~num_outputs:1 ~num_states:ns
+          ~num_rows:(4 * ns) ~seed
+      in
+      let r = Reduce_states.reduce m in
+      let rr = Reduce_states.reduce r in
+      Fsm.num_states ~m:r <= ns
+      && Fsm.num_states ~m:rr = Fsm.num_states ~m:r
+      &&
+      (* spot-check trace preservation from reset over depth 4 *)
+      let rec walk depth s_orig s_red =
+        depth = 0
+        || List.for_all
+             (fun input ->
+               match (Fsm.next m ~input ~src:s_orig, Fsm.next r ~input ~src:s_red) with
+               | Some (Some d1, o1), Some (Some d2, o2) ->
+                   (* compare only specified output bits *)
+                   String.length o1 = String.length o2
+                   && (let ok = ref true in
+                       String.iteri
+                         (fun j c1 ->
+                           let c2 = o2.[j] in
+                           if c1 <> '-' && c2 <> '-' && c1 <> c2 then ok := false)
+                         o1;
+                       !ok)
+                   && walk (depth - 1) d1 d2
+               | None, _ -> true
+               | Some (None, _), _ -> true
+               | Some (Some _, _), (None | Some (None, _)) -> false)
+             [ "00"; "01"; "10"; "11" ]
+      in
+      walk 4 0 0)
+
+let suite =
+  [
+    Alcotest.test_case "equivalent duplicates" `Quick test_equivalent_duplicates;
+    Alcotest.test_case "reduce duplicates" `Quick test_reduce_duplicates;
+    Alcotest.test_case "shiftreg is tight" `Quick test_reduce_shiftreg_is_tight;
+    Alcotest.test_case "modulo12 is tight" `Quick test_reduce_modulo12_is_tight;
+    Alcotest.test_case "compatible pairs" `Quick test_compatible_pairs;
+    Alcotest.test_case "reduce incompletely specified" `Quick test_reduce_incompletely_specified;
+    Alcotest.test_case "incompatibility propagates" `Quick test_incompatible_seed_propagates;
+    Alcotest.test_case "input width guard" `Quick test_too_many_inputs_guard;
+    QCheck_alcotest.to_alcotest prop_reduce;
+  ]

@@ -1,0 +1,93 @@
+(* Round-trip and algebraic-law tests across the whole suite. *)
+
+open Logic
+
+let check = Alcotest.(check bool)
+
+let test_kiss_roundtrip_all_benchmarks () =
+  List.iter
+    (fun (e : Benchmarks.Suite.entry) ->
+      let m = Lazy.force e.Benchmarks.Suite.machine in
+      let text = Kiss.to_string m in
+      let m' = Kiss.parse ~name:e.Benchmarks.Suite.name text in
+      Alcotest.(check string)
+        (e.Benchmarks.Suite.name ^ " roundtrip")
+        text (Kiss.to_string m'))
+    Benchmarks.Suite.all
+
+let gen_cover_pair =
+  QCheck.make
+    ~print:(fun (sizes, s1, s2) ->
+      Printf.sprintf "sizes=[%s] %d %d" (String.concat ";" (List.map string_of_int sizes)) s1 s2)
+    QCheck.Gen.(
+      list_size (int_range 1 3) (int_range 2 3) >>= fun sizes ->
+      int_bound 100_000 >>= fun s1 ->
+      int_bound 100_000 >>= fun s2 -> return (sizes, s1, s2))
+
+let build sizes seed =
+  let dom = Domain.create (Array.of_list sizes) in
+  let rng = Random.State.make [| seed |] in
+  let cube () =
+    List.fold_left
+      (fun c v ->
+        let sz = Domain.size dom v in
+        let parts = List.filter (fun _ -> Random.State.bool rng) (List.init sz (fun p -> p)) in
+        let parts = if parts = [] then [ Random.State.int rng sz ] else parts in
+        Cube.set_var dom c v parts)
+      (Cube.full dom)
+      (List.init (Domain.num_vars dom) (fun v -> v))
+  in
+  (dom, Cover.make dom (List.init (Random.State.int rng 5) (fun _ -> cube ())))
+
+let prop_de_morgan_covers =
+  QCheck.Test.make ~name:"cover De Morgan: ¬(F∪G) ≡ ¬F∩¬G" ~count:100 gen_cover_pair
+    (fun (sizes, s1, s2) ->
+      let dom, f = build sizes s1 in
+      let _, g = build sizes s2 in
+      ignore dom;
+      let lhs = Cover.complement (Cover.union f g) in
+      let rhs = Cover.intersect (Cover.complement f) (Cover.complement g) in
+      Cover.equivalent lhs rhs)
+
+let prop_intersect_semantics =
+  QCheck.Test.make ~name:"intersect is conjunction" ~count:100 gen_cover_pair
+    (fun (sizes, s1, s2) ->
+      let _, f = build sizes s1 in
+      let _, g = build sizes s2 in
+      let i = Cover.intersect f g in
+      Cover.covers f i && Cover.covers g i
+      &&
+      (* every minterm in both is in the intersection: check via
+         complement: f ∩ g ∩ ¬i must be empty *)
+      Cover.size (Cover.intersect (Cover.intersect f g) (Cover.complement i)) = 0)
+
+let prop_union_is_disjunction =
+  QCheck.Test.make ~name:"union covers both operands" ~count:100 gen_cover_pair
+    (fun (sizes, s1, s2) ->
+      let _, f = build sizes s1 in
+      let _, g = build sizes s2 in
+      let u = Cover.union f g in
+      Cover.covers u f && Cover.covers u g && Cover.covers (Cover.union f g) u)
+
+let test_encoding_wide () =
+  (* 60-bit codes are the supported ceiling. *)
+  let e = Encoding.make ~nbits:60 [| 0; 1 lsl 59 |] in
+  Alcotest.(check int) "60 bits" 60 e.Encoding.nbits;
+  Alcotest.(check string) "msb renders" ("1" ^ String.make 59 '0') (Encoding.code_string e 1);
+  Alcotest.check_raises "61 bits rejected" (Invalid_argument "Encoding.make: bad code length")
+    (fun () -> ignore (Encoding.make ~nbits:64 [| 0 |]))
+
+let test_face_dimension_limits () =
+  check "62 dims ok" true (Face.level 62 (Face.full 62) = 62);
+  Alcotest.check_raises "63 dims rejected" (Invalid_argument "Face: dimension must be within 0..62")
+    (fun () -> ignore (Face.full 63))
+
+let suite =
+  [
+    Alcotest.test_case "kiss roundtrip over the whole suite" `Slow test_kiss_roundtrip_all_benchmarks;
+    QCheck_alcotest.to_alcotest prop_de_morgan_covers;
+    QCheck_alcotest.to_alcotest prop_intersect_semantics;
+    QCheck_alcotest.to_alcotest prop_union_is_disjunction;
+    Alcotest.test_case "wide encodings" `Quick test_encoding_wide;
+    Alcotest.test_case "face dimension limits" `Quick test_face_dimension_limits;
+  ]

@@ -1,0 +1,106 @@
+(* Tests for symbolic minimization (Section 6.1). *)
+
+let check = Alcotest.(check bool)
+
+let run name = Symbmin.run (Symbolic.of_fsm (Benchmarks.Suite.find name))
+
+let test_acyclic () =
+  List.iter
+    (fun name ->
+      let sm = run name in
+      let n = Symbolic.num_states sm.Symbmin.symbolic in
+      (* Kahn's check: the covering edges must form a DAG. *)
+      let adj = Array.make n [] in
+      List.iter (fun (u, v, _) -> adj.(u) <- v :: adj.(u)) sm.Symbmin.graph;
+      let mark = Array.make n 0 in
+      let cyclic = ref false in
+      let rec dfs s =
+        if mark.(s) = 1 then cyclic := true
+        else if mark.(s) = 0 then begin
+          mark.(s) <- 1;
+          List.iter dfs adj.(s);
+          mark.(s) <- 2
+        end
+      in
+      for s = 0 to n - 1 do
+        dfs s
+      done;
+      check (name ^ " graph acyclic") false !cyclic)
+    [ "lion"; "shiftreg"; "modulo12"; "bbtas"; "dk15" ]
+
+let test_upper_bound_improves () =
+  (* The final symbolic cover must be no bigger than the disjoint
+     minimization it starts from. *)
+  List.iter
+    (fun name ->
+      let m = Benchmarks.Suite.find name in
+      let sym = Symbolic.of_fsm m in
+      let disjoint = Logic.Cover.size (Symbolic.minimize sym) in
+      let sm = Symbmin.run sym in
+      check
+        (Printf.sprintf "%s: %d <= %d" name (Symbmin.upper_bound sm) disjoint)
+        true
+        (Symbmin.upper_bound sm <= disjoint))
+    [ "lion"; "shiftreg"; "modulo12"; "bbtas"; "dk15"; "dk27" ]
+
+let test_weights_positive () =
+  List.iter
+    (fun name ->
+      let sm = run name in
+      check (name ^ " edge weights positive") true
+        (List.for_all (fun (_, _, w) -> w > 0) sm.Symbmin.graph);
+      check (name ^ " cluster weights positive") true
+        (List.for_all
+           (fun (cl : Constraints.oc_cluster) -> cl.Constraints.oc_weight > 0)
+           sm.Symbmin.problem.Iohybrid.clusters))
+    [ "modulo12"; "lion"; "dk17" ]
+
+let test_cluster_structure () =
+  List.iter
+    (fun name ->
+      let sm = run name in
+      let n = Symbolic.num_states sm.Symbmin.symbolic in
+      List.iter
+        (fun (cl : Constraints.oc_cluster) ->
+          check "cluster edges point into next_state" true
+            (List.for_all
+               (fun (oc : Constraints.output_constraint) ->
+                 oc.Constraints.covered = cl.Constraints.next_state)
+               cl.Constraints.edges);
+          check "edge endpoints in range" true
+            (List.for_all
+               (fun (oc : Constraints.output_constraint) ->
+                 oc.Constraints.covering >= 0 && oc.Constraints.covering < n
+                 && oc.Constraints.covered >= 0 && oc.Constraints.covered < n)
+               cl.Constraints.edges))
+        sm.Symbmin.problem.Iohybrid.clusters)
+    [ "modulo12"; "lion"; "dk17"; "bbtas" ]
+
+let test_companion_groups_nontrivial () =
+  List.iter
+    (fun name ->
+      let sm = run name in
+      let n = Symbolic.num_states sm.Symbmin.symbolic in
+      List.iter
+        (fun (ic : Constraints.input_constraint) ->
+          let card = Bitvec.cardinal ic.Constraints.states in
+          check "group cardinality" true (card >= 2 && card < n);
+          check "positive weight" true (ic.Constraints.weight > 0))
+        sm.Symbmin.problem.Iohybrid.ics)
+    [ "modulo12"; "dk17"; "bbtas"; "dk15" ]
+
+let test_modulo12_finds_covering () =
+  (* A counter's next-state functions overlap heavily: symbolic
+     minimization should find covering opportunities. *)
+  let sm = run "modulo12" in
+  check "some covering edges" true (List.length sm.Symbmin.graph > 0)
+
+let suite =
+  [
+    Alcotest.test_case "covering graph acyclic" `Quick test_acyclic;
+    Alcotest.test_case "upper bound no worse than disjoint" `Quick test_upper_bound_improves;
+    Alcotest.test_case "weights positive" `Quick test_weights_positive;
+    Alcotest.test_case "cluster structure" `Quick test_cluster_structure;
+    Alcotest.test_case "companion groups nontrivial" `Quick test_companion_groups_nontrivial;
+    Alcotest.test_case "modulo12 finds covering edges" `Quick test_modulo12_finds_covering;
+  ]

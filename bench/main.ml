@@ -84,6 +84,76 @@ let tests =
            Encoded.implement m (Encoding.one_hot (Fsm.num_states ~m))));
   ]
 
+(* --- ESPRESSO kernel benchmark → BENCH_espresso.json ------------------- *)
+
+(* Machine-readable snapshot of the minimizer: per benchmark the runtime,
+   minimized cover size and the instrumentation registries (kernel timers,
+   operation counters, recursion-depth histograms). Encodings are fixed
+   (random, seed 0, minimum width) so runs are comparable across
+   commits. *)
+
+let espresso_bench_machines ~quick =
+  let named = [ "lion"; "dk15"; "bbara"; "ex2"; "dk16" ] in
+  let named = if quick then named else named @ [ "keyb"; "styr"; "sand"; "planet" ] in
+  let generated =
+    if quick then
+      Benchmarks.Generator.generate ~name:"gen_medium" ~num_inputs:6 ~num_outputs:6
+        ~num_states:40 ~num_rows:160 ~seed:4242
+    else
+      Benchmarks.Generator.generate ~name:"gen_large" ~num_inputs:8 ~num_outputs:8
+        ~num_states:80 ~num_rows:400 ~seed:4242
+  in
+  List.map (fun nm -> Benchmarks.Suite.find nm) named @ [ generated ]
+
+let timer_seconds name =
+  match List.find_opt (fun (n, _, _) -> n = name) (Instrument.timers ()) with
+  | Some (_, s, _) -> s
+  | None -> 0.
+
+let espresso_bench_one (m : Fsm.t) =
+  Instrument.reset ();
+  let n = Fsm.num_states ~m in
+  let nbits = Ihybrid.min_code_length n in
+  let e = Encoding.random (Random.State.make [| 0 |]) ~num_states:n ~nbits in
+  let r = Encoded.implement m e in
+  let minimize_s = timer_seconds "espresso.minimize" in
+  let taut_s = timer_seconds "logic.tautology" in
+  let compl_s = timer_seconds "logic.complement" in
+  Format.printf "%-12s states=%3d rows=%4d  minimize=%8.4fs taut=%8.4fs compl=%8.4fs cubes=%4d lits=%5d@."
+    m.Fsm.name n (List.length m.Fsm.transitions) minimize_s taut_s compl_s r.Encoded.num_cubes
+    (Logic.Cover.literal_cost r.Encoded.cover);
+  let json =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"states\":%d,\"rows\":%d,\"nbits\":%d,\"minimize_s\":%.6f,\"num_cubes\":%d,\"literal_cost\":%d,\"area\":%d,\"tautology_kernel_s\":%.6f,\"complement_kernel_s\":%.6f,\"instrument\":%s}"
+      m.Fsm.name n
+      (List.length m.Fsm.transitions)
+      nbits minimize_s r.Encoded.num_cubes
+      (Logic.Cover.literal_cost r.Encoded.cover)
+      r.Encoded.area taut_s compl_s (Instrument.to_json ())
+  in
+  (json, minimize_s, taut_s, compl_s)
+
+let run_espresso ~quick () =
+  let was_on = Instrument.enabled () in
+  Instrument.enable ();
+  Format.printf "@.== ESPRESSO kernel benchmark (%s) ==@." (if quick then "quick" else "full");
+  let rows = List.map espresso_bench_one (espresso_bench_machines ~quick) in
+  if not was_on then Instrument.disable ();
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0. rows in
+  let t_min = total (fun (_, m, _, _) -> m)
+  and t_taut = total (fun (_, _, t, _) -> t)
+  and t_compl = total (fun (_, _, _, c) -> c) in
+  Format.printf "%-12s                  minimize=%8.4fs taut=%8.4fs compl=%8.4fs@." "TOTAL" t_min
+    t_taut t_compl;
+  let oc = open_out "BENCH_espresso.json" in
+  Printf.fprintf oc
+    "{\"schema\":\"nova-bench-espresso/v1\",\"mode\":\"%s\",\"benchmarks\":[%s],\"totals\":{\"minimize_s\":%.6f,\"tautology_kernel_s\":%.6f,\"complement_kernel_s\":%.6f}}\n"
+    (if quick then "quick" else "full")
+    (String.concat "," (List.map (fun (j, _, _, _) -> j) rows))
+    t_min t_taut t_compl;
+  close_out oc;
+  Format.printf "wrote BENCH_espresso.json@."
+
 let run_bechamel () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -124,6 +194,7 @@ let () =
     | "fig9" -> Harness.Tables.fig9 ~quick ppf ()
     | "fig10" -> Harness.Tables.fig10 ~quick ppf ()
     | "ablations" -> Harness.Ablations.all ~quick ppf ()
+    | "espresso" -> run_espresso ~quick ()
     | "bechamel" -> run_bechamel ()
     | other -> Format.eprintf "unknown table %S@." other
   in
@@ -131,6 +202,7 @@ let () =
   | [] ->
       Harness.Tables.all ~quick ppf ();
       Harness.Ablations.all ~quick ppf ();
+      run_espresso ~quick ();
       if not no_bechamel then run_bechamel ()
   | picks -> List.iter dispatch picks);
   Format.pp_print_flush ppf ()

@@ -123,7 +123,15 @@ let pla_arg =
   let doc = "Also print the minimized encoded PLA personality." in
   Arg.(value & flag & info [ "pla" ] ~doc)
 
-let encode algo bits seed pla path =
+let instrument_arg =
+  let doc =
+    "Collect kernel counters, phase timers and recursion-depth histograms during encoding \
+     and minimization, and print the report to stderr (same switch as NOVA_INSTRUMENT=1)."
+  in
+  Arg.(value & flag & info [ "instrument" ] ~doc)
+
+let encode algo bits seed pla instrument path =
+  if instrument then Instrument.enable ();
   let m = read_machine path in
   let n = Fsm.num_states ~m in
   let driver_algo =
@@ -157,12 +165,13 @@ let encode algo bits seed pla path =
   end;
   if pla then
     Pla.print Format.std_formatter r.Encoded.cover
-      ~num_binary_vars:(m.Fsm.num_inputs + encoding.Encoding.nbits)
+      ~num_binary_vars:(m.Fsm.num_inputs + encoding.Encoding.nbits);
+  if instrument || Instrument.enabled () then Instrument.report Format.err_formatter ()
 
 let encode_cmd =
   Cmd.v
     (Cmd.info "encode" ~doc:"Encode a machine's states and report the implementation.")
-    Term.(const encode $ algo_arg $ bits_arg $ seed_arg $ pla_arg $ machine_arg)
+    Term.(const encode $ algo_arg $ bits_arg $ seed_arg $ pla_arg $ instrument_arg $ machine_arg)
 
 (* --- minstates -------------------------------------------------------------- *)
 

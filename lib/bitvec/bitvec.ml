@@ -97,9 +97,24 @@ let disjoint a b =
   let rec loop w = w = n || (a.words.(w) land b.words.(w) = 0 && loop (w + 1)) in
   loop 0
 
-let popcount_word w0 =
-  let rec loop w acc = if w = 0 then acc else loop (w land (w - 1)) (acc + 1) in
-  loop w0 0
+(* SWAR popcount. The masks are built from 32-bit literals so they stay
+   inside OCaml's int literal range; shifting left by 32 truncates to the
+   native int width, which is exactly the pattern we need. *)
+let swar_m1 = 0x55555555 lor (0x55555555 lsl 32)
+let swar_m2 = 0x33333333 lor (0x33333333 lsl 32)
+let swar_m4 = 0x0F0F0F0F lor (0x0F0F0F0F lsl 32)
+
+let popcount_word x =
+  let x = x - ((x lsr 1) land swar_m1) in
+  let x = (x land swar_m2) + ((x lsr 2) land swar_m2) in
+  let x = (x + (x lsr 4)) land swar_m4 in
+  let x = x + (x lsr 8) in
+  let x = x + (x lsr 16) in
+  let x = if bits_per_word > 32 then x + (x lsr 32) else x in
+  x land 0xff
+
+(* Number of trailing zeros of a one-bit word [b]: the bits below it. *)
+let ntz_bit b = popcount_word (b - 1)
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
 
@@ -116,12 +131,14 @@ let union_into dst src =
   done
 
 let iter f t =
-  for w = 0 to Array.length t.words - 1 do
-    let word = t.words.(w) in
-    if word <> 0 then
-      for b = 0 to bits_per_word - 1 do
-        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
-      done
+  for wi = 0 to Array.length t.words - 1 do
+    let base = wi * bits_per_word in
+    let w = ref t.words.(wi) in
+    while !w <> 0 do
+      let b = !w land - !w in
+      f (base + ntz_bit b);
+      w := !w land lnot b
+    done
   done
 
 let fold f acc t =
@@ -141,39 +158,118 @@ let first_set t =
   let rec loop w =
     if w = n then None
     else if t.words.(w) = 0 then loop (w + 1)
-    else
-      let word = t.words.(w) in
-      let rec bit b = if word land (1 lsl b) <> 0 then Some ((w * bits_per_word) + b) else bit (b + 1) in
-      bit 0
+    else Some ((w * bits_per_word) + ntz_bit (t.words.(w) land - t.words.(w)))
   in
   loop 0
 
 let range_check t lo len =
   if lo < 0 || len < 0 || lo + len > t.len then invalid_arg "Bitvec: range out of bounds"
 
-let range_fold t lo len ~f ~init =
-  range_check t lo len;
-  let acc = ref init in
-  for i = lo to lo + len - 1 do
-    acc := f !acc (t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0)
-  done;
-  !acc
+(* The range operations below work word-parallel: the range [lo, lo+len)
+   spans words w0..w1, with [first]/[last] masking the partial words at
+   each end (collapsed into one mask when w0 = w1). *)
+let ones n = if n >= bits_per_word then -1 else (1 lsl n) - 1
 
-let range_full t lo len = range_fold t lo len ~f:(fun acc b -> acc && b) ~init:true
-let range_empty t lo len = range_fold t lo len ~f:(fun acc b -> acc && not b) ~init:true
-let range_cardinal t lo len = range_fold t lo len ~f:(fun acc b -> if b then acc + 1 else acc) ~init:0
+let range_full t lo len =
+  range_check t lo len;
+  len = 0
+  ||
+  let w0 = lo / bits_per_word and w1 = (lo + len - 1) / bits_per_word in
+  let b0 = lo mod bits_per_word and b1 = (lo + len - 1) mod bits_per_word in
+  if w0 = w1 then
+    let m = ones (b1 - b0 + 1) lsl b0 in
+    t.words.(w0) land m = m
+  else
+    let first = -1 lsl b0 and last = ones (b1 + 1) in
+    t.words.(w0) land first = first
+    && t.words.(w1) land last = last
+    &&
+    let rec mid w = w >= w1 || (t.words.(w) = -1 && mid (w + 1)) in
+    mid (w0 + 1)
+
+let range_empty t lo len =
+  range_check t lo len;
+  len = 0
+  ||
+  let w0 = lo / bits_per_word and w1 = (lo + len - 1) / bits_per_word in
+  let b0 = lo mod bits_per_word and b1 = (lo + len - 1) mod bits_per_word in
+  if w0 = w1 then t.words.(w0) land (ones (b1 - b0 + 1) lsl b0) = 0
+  else
+    t.words.(w0) land (-1 lsl b0) = 0
+    && t.words.(w1) land ones (b1 + 1) = 0
+    &&
+    let rec mid w = w >= w1 || (t.words.(w) = 0 && mid (w + 1)) in
+    mid (w0 + 1)
+
+let range_cardinal t lo len =
+  range_check t lo len;
+  if len = 0 then 0
+  else
+    let w0 = lo / bits_per_word and w1 = (lo + len - 1) / bits_per_word in
+    let b0 = lo mod bits_per_word and b1 = (lo + len - 1) mod bits_per_word in
+    if w0 = w1 then popcount_word (t.words.(w0) land (ones (b1 - b0 + 1) lsl b0))
+    else begin
+      let acc = ref (popcount_word (t.words.(w0) land (-1 lsl b0))) in
+      for w = w0 + 1 to w1 - 1 do
+        acc := !acc + popcount_word t.words.(w)
+      done;
+      !acc + popcount_word (t.words.(w1) land ones (b1 + 1))
+    end
+
+(* Is (a ∧ b) empty on [lo, lo+len)? Word-parallel, no allocation: the
+   fused form of [is_empty (inter a b)] restricted to a range, which the
+   cube layer calls in its innermost loops. *)
+let inter_range_empty a b lo len =
+  check_same a b;
+  range_check a lo len;
+  len = 0
+  ||
+  let w0 = lo / bits_per_word and w1 = (lo + len - 1) / bits_per_word in
+  let b0 = lo mod bits_per_word and b1 = (lo + len - 1) mod bits_per_word in
+  if w0 = w1 then a.words.(w0) land b.words.(w0) land (ones (b1 - b0 + 1) lsl b0) = 0
+  else
+    a.words.(w0) land b.words.(w0) land (-1 lsl b0) = 0
+    && a.words.(w1) land b.words.(w1) land ones (b1 + 1) = 0
+    &&
+    let rec mid w = w >= w1 || (a.words.(w) land b.words.(w) = 0 && mid (w + 1)) in
+    mid (w0 + 1)
+
+(* Raw word access for the mask-based field operations of the cube
+   layer, which precomputes per-variable (word, mask) pairs to avoid
+   index arithmetic in its innermost loops. *)
+let word t i = t.words.(i)
+
+let or_word t i m = t.words.(i) <- t.words.(i) lor m
 
 let set_range t lo len =
   range_check t lo len;
-  for i = lo to lo + len - 1 do
-    set t i
-  done
+  if len > 0 then begin
+    let w0 = lo / bits_per_word and w1 = (lo + len - 1) / bits_per_word in
+    let b0 = lo mod bits_per_word and b1 = (lo + len - 1) mod bits_per_word in
+    if w0 = w1 then t.words.(w0) <- t.words.(w0) lor (ones (b1 - b0 + 1) lsl b0)
+    else begin
+      t.words.(w0) <- t.words.(w0) lor (-1 lsl b0);
+      for w = w0 + 1 to w1 - 1 do
+        t.words.(w) <- -1
+      done;
+      t.words.(w1) <- t.words.(w1) lor ones (b1 + 1)
+    end
+  end
 
 let clear_range t lo len =
   range_check t lo len;
-  for i = lo to lo + len - 1 do
-    clear t i
-  done
+  if len > 0 then begin
+    let w0 = lo / bits_per_word and w1 = (lo + len - 1) / bits_per_word in
+    let b0 = lo mod bits_per_word and b1 = (lo + len - 1) mod bits_per_word in
+    if w0 = w1 then t.words.(w0) <- t.words.(w0) land lnot (ones (b1 - b0 + 1) lsl b0)
+    else begin
+      t.words.(w0) <- t.words.(w0) land lnot (-1 lsl b0);
+      for w = w0 + 1 to w1 - 1 do
+        t.words.(w) <- 0
+      done;
+      t.words.(w1) <- t.words.(w1) land lnot (ones (b1 + 1))
+    end
+  end
 
 let pp ppf t =
   for i = 0 to t.len - 1 do

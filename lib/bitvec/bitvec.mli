@@ -8,6 +8,9 @@
 
 type t
 
+(** Number of bits stored per backing word ([Sys.int_size]). *)
+val bits_per_word : int
+
 (** [create n] is a vector of [n] zero bits. *)
 val create : int -> t
 
@@ -94,6 +97,24 @@ val range_empty : t -> int -> int -> bool
 
 (** [range_cardinal t lo len] counts set bits among [lo..lo+len-1]. *)
 val range_cardinal : t -> int -> int -> int
+
+(** [inter_range_empty a b lo len] is true iff [a AND b] has no set bit in
+    [lo..lo+len-1]. Word-parallel and allocation-free: the fused form of
+    [is_empty (inter a b)] restricted to a range, for the innermost cube
+    loops. *)
+val inter_range_empty : t -> t -> int -> int -> bool
+
+(** [popcount_word w] counts the set bits of a raw word; exposed for the
+    test suite to cross-check the SWAR implementation. *)
+val popcount_word : int -> int
+
+(** [word t i] is the raw [i]-th backing word. With [bits_per_word] and
+    precomputed masks this lets the cube layer run field tests without
+    per-call index arithmetic. *)
+val word : t -> int -> int
+
+(** [or_word t i m] ORs mask [m] into the [i]-th backing word in place. *)
+val or_word : t -> int -> int -> unit
 
 (** [set_range t lo len] sets bits [lo..lo+len-1] in place. *)
 val set_range : t -> int -> int -> unit

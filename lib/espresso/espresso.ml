@@ -1,6 +1,19 @@
 open Logic
 
-let off_set ~on ~dc = Cover.complement (Cover.union on dc)
+(* Instrumentation probes: phase wall-clock timers and iteration
+   counters, all no-ops unless Instrument.enable (). *)
+let t_offset = Instrument.timer "espresso.off_set"
+let t_expand = Instrument.timer "espresso.expand"
+let t_irredundant = Instrument.timer "espresso.irredundant"
+let t_reduce = Instrument.timer "espresso.reduce"
+let t_essential = Instrument.timer "espresso.essential_primes"
+let t_minimize = Instrument.timer "espresso.minimize"
+let c_expand_passes = Instrument.counter "espresso.expand_passes"
+let c_expand_raises = Instrument.counter "espresso.expand_raised_bits"
+let c_reduce_iterations = Instrument.counter "espresso.reduce_iterations"
+let c_minimize_calls = Instrument.counter "espresso.minimize_calls"
+
+let off_set ~on ~dc = Instrument.time t_offset (fun () -> Cover.complement (Cover.union on dc))
 
 (* A cube may be raised at bit [i] iff the raised cube still intersects no
    off-set cube. Intersection with the off-set is the only validity
@@ -13,30 +26,36 @@ let valid dom c off = not (List.exists (fun o -> Cube.intersects dom c o) off)
 let expand_cube dom c ~off ~companions =
   let width = Domain.width dom in
   let cur = Bitvec.copy c in
+  (* The companions never change within one expansion, so each candidate
+     bit is scored once up front; a raised bit enables re-examining the
+     earlier rejects, so passes repeat only while the cube still grows. *)
+  let score = Array.make width 0 in
+  List.iter (fun comp -> Bitvec.iter (fun i -> score.(i) <- score.(i) + 1) comp) companions;
+  let candidates =
+    List.init width (fun i -> i)
+    |> List.filter (fun i -> not (Bitvec.get cur i))
+    |> List.sort (fun a b -> compare score.(b) score.(a))
+  in
   let improved = ref true in
   while !improved do
     improved := false;
-    (* Preference: number of companion cubes asserting each candidate bit. *)
-    let score = Array.make width 0 in
-    List.iter
-      (fun comp -> Bitvec.iter (fun i -> score.(i) <- score.(i) + 1) comp)
-      companions;
-    let candidates =
-      List.init width (fun i -> i)
-      |> List.filter (fun i -> not (Bitvec.get cur i))
-      |> List.sort (fun a b -> compare score.(b) score.(a))
-    in
+    Instrument.bump c_expand_passes;
     List.iter
       (fun i ->
         if not (Bitvec.get cur i) then begin
           Bitvec.set cur i;
-          if valid dom cur off then improved := true else Bitvec.clear cur i
+          if valid dom cur off then begin
+            improved := true;
+            Instrument.bump c_expand_raises
+          end
+          else Bitvec.clear cur i
         end)
       candidates
   done;
   cur
 
 let expand (cover : Cover.t) ~(off : Cover.t) =
+  Instrument.time t_expand @@ fun () ->
   let dom = cover.Cover.dom in
   (* Fewest-literal (largest) cubes first: their expansions swallow the
      most companions, shrinking the list early. *)
@@ -55,6 +74,7 @@ let expand (cover : Cover.t) ~(off : Cover.t) =
   Cover.make dom (loop [] ordered)
 
 let irredundant (cover : Cover.t) ~(dc : Cover.t) =
+  Instrument.time t_irredundant @@ fun () ->
   let dom = cover.Cover.dom in
   (* Try to remove big cubes last: small, specific cubes are more likely
      redundant leftovers of expansion. *)
@@ -72,6 +92,7 @@ let irredundant (cover : Cover.t) ~(dc : Cover.t) =
   Cover.make dom (loop [] ordered)
 
 let reduce (cover : Cover.t) ~(dc : Cover.t) =
+  Instrument.time t_reduce @@ fun () ->
   let dom = cover.Cover.dom in
   (* Largest cubes first, per ESPRESSO: reducing big cubes frees room for
      subsequent reductions. *)
@@ -90,6 +111,7 @@ let reduce (cover : Cover.t) ~(dc : Cover.t) =
   Cover.make dom (loop [] ordered)
 
 let essential_primes (cover : Cover.t) ~(dc : Cover.t) =
+  Instrument.time t_essential @@ fun () ->
   let dom = cover.Cover.dom in
   let essential c =
     let rest =
@@ -103,6 +125,8 @@ let essential_primes (cover : Cover.t) ~(dc : Cover.t) =
 let cost (c : Cover.t) = (Cover.size c, Cover.literal_cost c)
 
 let minimize_with_off ~(on : Cover.t) ~(dc : Cover.t) ~(off : Cover.t) =
+  Instrument.bump c_minimize_calls;
+  Instrument.time t_minimize @@ fun () ->
   let dom = on.Cover.dom in
   let f = Cover.single_cube_containment on in
   if f.Cover.cubes = [] then f
@@ -118,14 +142,23 @@ let minimize_with_off ~(on : Cover.t) ~(dc : Cover.t) ~(off : Cover.t) =
     in
     let dc = Cover.union dc ess in
     let best = ref f in
+    (* The cost of the incumbent only changes when it is replaced: keep
+       it hoisted out of the loop instead of recomputing per iteration. *)
+    let best_cost = ref (cost f) in
     let continue_ = ref true in
     let iterations = ref 0 in
     while !continue_ && !iterations < 12 && !best.Cover.cubes <> [] do
       incr iterations;
+      Instrument.bump c_reduce_iterations;
       let f = reduce !best ~dc in
       let f = expand f ~off in
       let f = irredundant f ~dc in
-      if cost f < cost !best then best := f else continue_ := false
+      let fc = cost f in
+      if fc < !best_cost then begin
+        best := f;
+        best_cost := fc
+      end
+      else continue_ := false
     done;
     Cover.single_cube_containment (Cover.union ess !best)
   end
@@ -175,20 +208,29 @@ let reduce_care (cover : Cover.t) ~(care : Cover.t) =
   Cover.make dom (loop [] ordered)
 
 let minimize_care ~(on : Cover.t) ~(off : Cover.t) =
+  Instrument.bump c_minimize_calls;
+  Instrument.time t_minimize @@ fun () ->
   let f = Cover.single_cube_containment on in
   if f.Cover.cubes = [] then f
   else begin
     let f = expand f ~off in
     let f = irredundant_care f ~care:on in
     let best = ref f in
+    let best_cost = ref (cost f) in
     let continue_ = ref true in
     let iterations = ref 0 in
     while !continue_ && !iterations < 12 do
       incr iterations;
+      Instrument.bump c_reduce_iterations;
       let f = reduce_care !best ~care:on in
       let f = expand f ~off in
       let f = irredundant_care f ~care:on in
-      if cost f < cost !best then best := f else continue_ := false
+      let fc = cost f in
+      if fc < !best_cost then begin
+        best := f;
+        best_cost := fc
+      end
+      else continue_ := false
     done;
     !best
   end

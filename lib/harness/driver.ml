@@ -1,3 +1,7 @@
+(* Instrumentation probes: no-ops unless Instrument.enable (). *)
+let t_encode = Instrument.timer "driver.encode"
+let t_implement = Instrument.timer "driver.implement"
+
 type algorithm =
   | Ihybrid
   | Igreedy
@@ -31,6 +35,7 @@ let all_algorithms =
   ]
 
 let encode ?bits (m : Fsm.t) algo =
+  Instrument.time t_encode @@ fun () ->
   let n = Fsm.num_states ~m in
   let ics () = Constraints.of_symbolic (Symbolic.of_fsm m) in
   let problem () = (Symbmin.run (Symbolic.of_fsm m)).Symbmin.problem in
@@ -57,4 +62,4 @@ let encode ?bits (m : Fsm.t) algo =
 
 let report ?bits m algo =
   let e = encode ?bits m algo in
-  (e, Encoded.implement m e)
+  (e, Instrument.time t_implement (fun () -> Encoded.implement m e))

@@ -1,0 +1,187 @@
+(* Operation counters, wall-clock phase timers and recursion-depth
+   histograms for the hot two-level kernels.
+
+   Everything is default-off: while [on] is false every probe is a load
+   and a branch, so instrumented code costs nearly nothing in production
+   runs. Enable with [enable ()] — or NOVA_INSTRUMENT=1 in the
+   environment — then read the registries with [counters]/[timers]/
+   [histograms], pretty-print with [report], or serialize with
+   [to_json].
+
+   Probes register themselves by name at module-initialization time;
+   [find_or_create] keeps a name unique across libraries so the same
+   logical counter can be bumped from several call sites. *)
+
+let on =
+  ref
+    (match Sys.getenv_opt "NOVA_INSTRUMENT" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false)
+
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+type counter = { c_name : string; mutable count : int }
+
+type timer = { t_name : string; mutable seconds : float; mutable t_calls : int }
+
+(* Depth histograms: bucket [i] counts observations of value [i];
+   anything >= the bucket count lands in [overflow]. *)
+type histogram = { h_name : string; h_buckets : int array; mutable overflow : int }
+
+let all_counters : counter list ref = ref []
+let all_timers : timer list ref = ref []
+let all_histograms : histogram list ref = ref []
+
+let find_or_create registry ~name ~get_name ~make =
+  match List.find_opt (fun x -> get_name x = name) !registry with
+  | Some x -> x
+  | None ->
+      let x = make () in
+      registry := !registry @ [ x ];
+      x
+
+let counter name =
+  find_or_create all_counters ~name
+    ~get_name:(fun c -> c.c_name)
+    ~make:(fun () -> { c_name = name; count = 0 })
+
+let bump c = if !on then c.count <- c.count + 1
+let add c n = if !on then c.count <- c.count + n
+
+let timer name =
+  find_or_create all_timers ~name
+    ~get_name:(fun t -> t.t_name)
+    ~make:(fun () -> { t_name = name; seconds = 0.; t_calls = 0 })
+
+(* [time t f] accounts the wall-clock time of [f ()] to [t]. Safe under
+   exceptions; nested use of the *same* timer double-counts, so timers
+   are attached only to non-reentrant entry points. *)
+let time t f =
+  if not !on then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        t.seconds <- t.seconds +. (Unix.gettimeofday () -. t0);
+        t.t_calls <- t.t_calls + 1)
+      f
+  end
+
+let default_buckets = 32
+
+let histogram ?(buckets = default_buckets) name =
+  find_or_create all_histograms ~name
+    ~get_name:(fun h -> h.h_name)
+    ~make:(fun () -> { h_name = name; h_buckets = Array.make buckets 0; overflow = 0 })
+
+let observe h v =
+  if !on then
+    if v >= 0 && v < Array.length h.h_buckets then
+      h.h_buckets.(v) <- h.h_buckets.(v) + 1
+    else h.overflow <- h.overflow + 1
+
+let reset () =
+  List.iter (fun c -> c.count <- 0) !all_counters;
+  List.iter
+    (fun t ->
+      t.seconds <- 0.;
+      t.t_calls <- 0)
+    !all_timers;
+  List.iter
+    (fun h ->
+      Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
+      h.overflow <- 0)
+    !all_histograms
+
+let counters () = List.map (fun c -> (c.c_name, c.count)) !all_counters
+let timers () = List.map (fun t -> (t.t_name, t.seconds, t.t_calls)) !all_timers
+
+let histograms () =
+  List.map (fun h -> (h.h_name, Array.copy h.h_buckets, h.overflow)) !all_histograms
+
+(* Highest non-empty bucket, so reports and JSON stay short. *)
+let trimmed_buckets buckets =
+  let hi = ref (-1) in
+  Array.iteri (fun i n -> if n > 0 then hi := i) buckets;
+  Array.sub buckets 0 (!hi + 1)
+
+let report ppf () =
+  Format.fprintf ppf "@[<v>== instrumentation ==@,";
+  List.iter
+    (fun (name, n) -> if n > 0 then Format.fprintf ppf "%-40s %12d@," name n)
+    (counters ());
+  List.iter
+    (fun (name, s, calls) ->
+      if calls > 0 then Format.fprintf ppf "%-40s %10.4fs over %d calls@," name s calls)
+    (timers ());
+  List.iter
+    (fun (name, buckets, overflow) ->
+      let trimmed = trimmed_buckets buckets in
+      if Array.length trimmed > 0 || overflow > 0 then begin
+        Format.fprintf ppf "%-40s [" name;
+        Array.iteri
+          (fun i n -> Format.fprintf ppf "%s%d" (if i > 0 then " " else "") n)
+          trimmed;
+        Format.fprintf ppf "]%s@,"
+          (if overflow > 0 then Printf.sprintf " +%d deeper" overflow else "")
+      end)
+    (histograms ());
+  Format.fprintf ppf "@]"
+
+(* --- JSON serialization (no external deps) ----------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  (* %.6f keeps timings readable; %g would turn tiny values into exponents. *)
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6f" f
+
+let buf_kv_seq buf ~first kv =
+  if not !first then Buffer.add_char buf ',';
+  first := false;
+  Buffer.add_string buf kv
+
+let to_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"counters\":{";
+  let first = ref true in
+  List.iter
+    (fun (name, n) ->
+      buf_kv_seq buf ~first (Printf.sprintf "\"%s\":%d" (json_escape name) n))
+    (counters ());
+  Buffer.add_string buf "},\"timers\":{";
+  let first = ref true in
+  List.iter
+    (fun (name, s, calls) ->
+      buf_kv_seq buf ~first
+        (Printf.sprintf "\"%s\":{\"seconds\":%s,\"calls\":%d}" (json_escape name)
+           (json_float s) calls))
+    (timers ());
+  Buffer.add_string buf "},\"histograms\":{";
+  let first = ref true in
+  List.iter
+    (fun (name, buckets, overflow) ->
+      let trimmed = trimmed_buckets buckets in
+      let cells =
+        String.concat "," (Array.to_list (Array.map string_of_int trimmed))
+      in
+      buf_kv_seq buf ~first
+        (Printf.sprintf "\"%s\":{\"buckets\":[%s],\"overflow\":%d}" (json_escape name)
+           cells overflow))
+    (histograms ());
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

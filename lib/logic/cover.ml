@@ -6,6 +6,20 @@ let universe dom = { dom; cubes = [ Cube.full dom ] }
 let size t = List.length t.cubes
 let literal_cost t = List.fold_left (fun acc c -> acc + Cube.num_literal_bits t.dom c) 0 t.cubes
 
+(* --- Instrumentation probes (no-ops unless Instrument.enable ()) ------- *)
+
+let c_taut_calls = Instrument.counter "logic.tautology_calls"
+let c_compl_calls = Instrument.counter "logic.complement_calls"
+let c_cofactor_calls = Instrument.counter "logic.cofactor_calls"
+let c_taut_nodes = Instrument.counter "logic.tautology_nodes"
+let c_compl_nodes = Instrument.counter "logic.complement_nodes"
+let c_unate_reductions = Instrument.counter "logic.unate_reductions"
+let c_component_reductions = Instrument.counter "logic.component_reductions"
+let t_taut = Instrument.timer "logic.tautology"
+let t_compl = Instrument.timer "logic.complement"
+let h_taut_depth = Instrument.histogram "logic.tautology_depth"
+let h_compl_depth = Instrument.histogram "logic.complement_depth"
+
 let union a b =
   assert (Domain.equal a.dom b.dom);
   { a with cubes = a.cubes @ b.cubes }
@@ -20,6 +34,7 @@ let intersect a b =
   { a with cubes }
 
 let cofactor t ~wrt =
+  Instrument.bump c_cofactor_calls;
   let not_wrt = Bitvec.complement wrt in
   let cubes =
     List.filter_map
@@ -42,57 +57,252 @@ let single_cube_containment t =
   in
   { t with cubes = loop [] t.cubes }
 
-(* --- Unate-recursive kernel ------------------------------------------- *)
-
-(* A variable is active in a cube list if some cube has a non-full field
-   for it. The most binate variable (active in the most cubes) drives the
-   Shannon-style splitting. *)
-let most_binate_var dom cubes =
-  let n = Domain.num_vars dom in
-  let best = ref (-1) and best_count = ref 0 in
-  for v = 0 to n - 1 do
-    let count =
-      List.fold_left (fun acc c -> if Cube.var_full dom c v then acc else acc + 1) 0 cubes
-    in
-    if count > !best_count then begin
-      best := v;
-      best_count := count
-    end
-  done;
-  if !best_count = 0 then None else Some !best
+(* --- Unate-aware recursive kernel -------------------------------------- *)
 
 (* Cofactor a cube list against the literal (var v = part p), keeping only
    the cubes asserting part p and raising their field of v to full. *)
 let cofactor_literal dom cubes v p =
-  let off = Domain.offset dom v in
-  let sz = Domain.size dom v in
+  Instrument.bump c_cofactor_calls;
+  let bit = Domain.offset dom v + p in
+  let pw = bit / Bitvec.bits_per_word and pm = 1 lsl (bit mod Bitvec.bits_per_word) in
+  let ws = Domain.var_words dom v and ms = Domain.var_masks dom v in
   List.filter_map
     (fun c ->
-      if Bitvec.get c (off + p) then begin
+      if Bitvec.word c pw land pm <> 0 then begin
         let c' = Bitvec.copy c in
-        Bitvec.set_range c' off sz;
+        for i = 0 to Array.length ws - 1 do
+          Bitvec.or_word c' ws.(i) ms.(i)
+        done;
         Some c'
       end
       else None)
     cubes
 
-let rec taut_rec dom cubes =
+(* Per-node statistics, computed in one pass: [nfull.(v)] is the number
+   of cubes whose field of variable [v] is full. *)
+type node_stats = { ncubes : int; nfull : int array }
+
+let node_stats dom cubes =
+  let nv = Domain.num_vars dom in
+  let nfull = Array.make nv 0 in
+  let ncubes = ref 0 in
+  List.iter
+    (fun c ->
+      incr ncubes;
+      for v = 0 to nv - 1 do
+        if Cube.var_full dom c v then nfull.(v) <- nfull.(v) + 1
+      done)
+    cubes;
+  { ncubes = !ncubes; nfull }
+
+(* The most binate variable — active (non-full) in the most cubes — drives
+   Shannon-style splitting; ties go to the lowest variable index. *)
+let most_binate_of_stats dom st =
+  let nv = Domain.num_vars dom in
+  let best = ref (-1) and best_active = ref 0 in
+  for v = 0 to nv - 1 do
+    let active = st.ncubes - st.nfull.(v) in
+    if active > !best_active then begin
+      best := v;
+      best_active := active
+    end
+  done;
+  if !best_active = 0 then None else Some !best
+
+(* Partition cubes into groups touching disjoint sets of active variables
+   (union-find over variables). Callers must have dealt with full cubes:
+   every cube here needs at least one non-full field. *)
+let components dom cubes =
+  let nv = Domain.num_vars dom in
+  let parent = Array.init nv (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let link a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  let anchors =
+    List.map
+      (fun c ->
+        let a = ref (-1) in
+        for v = 0 to nv - 1 do
+          if not (Cube.var_full dom c v) then if !a < 0 then a := v else link !a v
+        done;
+        assert (!a >= 0);
+        !a)
+      cubes
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter2
+    (fun c a ->
+      let r = find a in
+      Hashtbl.replace tbl r (c :: (try Hashtbl.find tbl r with Not_found -> [])))
+    cubes anchors;
+  Hashtbl.fold (fun _ l acc -> List.rev l :: acc) tbl []
+
+(* Parts of [v] asserted by exactly the same cubes have identical
+   cofactors; group them so each distinct cofactor recurses only once
+   (frequent for the wide multiple-valued output variable of encoded
+   PLAs, where many columns repeat). *)
+let part_groups dom cubes v =
+  let off = Domain.offset dom v and sz = Domain.size dom v in
+  let key p =
+    let b = Buffer.create 32 in
+    List.iter (fun c -> Buffer.add_char b (if Bitvec.get c (off + p) then '1' else '0')) cubes;
+    Buffer.contents b
+  in
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  for p = sz - 1 downto 0 do
+    let k = key p in
+    match Hashtbl.find_opt tbl k with
+    | Some l -> Hashtbl.replace tbl k (p :: l)
+    | None ->
+        Hashtbl.add tbl k [ p ];
+        order := k :: !order
+  done;
+  List.map (fun k -> Hashtbl.find tbl k) !order
+
+(* Space size for the minterm-count cutoff; a domain too big for an int
+   disables the cutoff (max_int can never exceed a clamped sum). *)
+let space_size dom =
+  match Domain.num_minterms dom with n -> n | exception Invalid_argument _ -> max_int
+
+(* The tautology recursion analyses each node in ONE pass over the cubes.
+   Per cube and variable, [range_cardinal] yields at once: fullness (card
+   = size, counted into [nfull]), the cube's minterm count (product of
+   cardinalities, saturated at [space]), and — for non-full fields — an OR
+   accumulated into [weak] plus a union-find link for the component
+   partition. From those four byproducts the node applies, in order:
+
+   - full-cube shortcut: some cube covers everything, tautology;
+   - minterm cutoff: even counting overlaps with multiplicity the cubes
+     hold fewer than [space] minterms, so some minterm is uncovered;
+   - unate reduction: a part of [v] missing from [weak] is asserted only
+     by cubes full in [v]; cofactoring against it erases every cube
+     active in [v], so the answer is that of the full-field sub-cover;
+   - component reduction: cube groups over disjoint variable sets cover
+     the space iff one group does on its own;
+   - Shannon split on the most binate variable, with identical columns
+     of a multiple-valued variable recursed once and thin cofactors
+     visited first (they are the likely non-tautologies). *)
+let rec taut_fast dom cubes depth space =
+  Instrument.bump c_taut_nodes;
+  Instrument.observe h_taut_depth depth;
   match cubes with
   | [] -> false
-  | _ when List.exists Bitvec.is_full cubes -> true
-  | _ -> (
-      match most_binate_var dom cubes with
-      | None -> false (* all cubes full in every var, but no full cube: impossible *)
-      | Some v ->
-          let sz = Domain.size dom v in
-          let rec parts p = p = sz || (taut_rec dom (cofactor_literal dom cubes v p) && parts (p + 1)) in
-          parts 0)
+  | [ c ] -> Bitvec.is_full c
+  | _ ->
+      let nv = Domain.num_vars dom in
+      let nfull = Array.make nv 0 in
+      let nwords = ((Domain.width dom - 1) / Bitvec.bits_per_word) + 1 in
+      let weak = Array.make nwords 0 in
+      let parent = Array.init nv (fun i -> i) in
+      let rec find i = if parent.(i) = i then i else find parent.(i) in
+      let link a b =
+        let ra = find a and rb = find b in
+        if ra <> rb then parent.(ra) <- rb
+      in
+      let vw = Domain.var_word1 dom and vm = Domain.var_mask1 dom in
+      let ncubes = ref 0 and minterms = ref 0 and has_full = ref false in
+      let anchors =
+        List.map
+          (fun c ->
+            incr ncubes;
+            let cube_minterms = ref 1 and anchor = ref (-1) in
+            for v = 0 to nv - 1 do
+              let w = vw.(v) in
+              let card =
+                if w >= 0 then Bitvec.popcount_word (Bitvec.word c w land vm.(v))
+                else Cube.var_cardinal dom c v
+              in
+              if card = Domain.size dom v then nfull.(v) <- nfull.(v) + 1
+              else begin
+                (if w >= 0 then weak.(w) <- weak.(w) lor (Bitvec.word c w land vm.(v))
+                 else
+                   let ws = Domain.var_words dom v and ms = Domain.var_masks dom v in
+                   for i = 0 to Array.length ws - 1 do
+                     weak.(ws.(i)) <- weak.(ws.(i)) lor (Bitvec.word c ws.(i) land ms.(i))
+                   done);
+                if !anchor < 0 then anchor := v else link !anchor v
+              end;
+              if !cube_minterms < space then
+                cube_minterms :=
+                  (if card = 0 then 0
+                   else if !cube_minterms > space / card then space
+                   else !cube_minterms * card)
+            done;
+            if !anchor < 0 then has_full := true;
+            minterms := min space (!minterms + min space !cube_minterms);
+            !anchor)
+          cubes
+      in
+      let ncubes = !ncubes in
+      if !has_full then true
+      else if !minterms < space then false
+      else begin
+        let weak_full v =
+          let ws = Domain.var_words dom v and ms = Domain.var_masks dom v in
+          let n = Array.length ws in
+          let rec loop i = i = n || (weak.(ws.(i)) land ms.(i) = ms.(i) && loop (i + 1)) in
+          loop 0
+        in
+        let rec unate v =
+          if v = nv then None
+          else if nfull.(v) < ncubes && not (weak_full v) then Some v
+          else unate (v + 1)
+        in
+        match unate 0 with
+        | Some v ->
+            Instrument.bump c_unate_reductions;
+            nfull.(v) > 0
+            && taut_fast dom (List.filter (fun c -> Cube.var_full dom c v) cubes) (depth + 1) space
+        | None ->
+            let root0 = find (List.hd anchors) in
+            if List.exists (fun a -> find a <> root0) anchors then begin
+              Instrument.bump c_component_reductions;
+              let tbl = Hashtbl.create 8 in
+              List.iter2
+                (fun c a ->
+                  let r = find a in
+                  Hashtbl.replace tbl r (c :: (try Hashtbl.find tbl r with Not_found -> [])))
+                cubes anchors;
+              let comps = Hashtbl.fold (fun _ l acc -> List.rev l :: acc) tbl [] in
+              List.exists (fun comp -> taut_fast dom comp (depth + 1) space) comps
+            end
+            else begin
+              let best = ref (-1) and best_active = ref 0 in
+              for v = 0 to nv - 1 do
+                let active = ncubes - nfull.(v) in
+                if active > !best_active then begin
+                  best := v;
+                  best_active := active
+                end
+              done;
+              (* best >= 0: a cube full in every variable would have set
+                 has_full above. *)
+              let v = !best in
+              let groups =
+                if Domain.size dom v <= 2 then [ [ 0 ]; [ 1 ] ] else part_groups dom cubes v
+              in
+              let cofs =
+                List.map (fun parts -> cofactor_literal dom cubes v (List.hd parts)) groups
+              in
+              let cofs = List.sort (fun a b -> compare (List.length a) (List.length b)) cofs in
+              List.for_all (fun cf -> taut_fast dom cf (depth + 1) space) cofs
+            end
+      end
 
-let tautology t = taut_rec t.dom t.cubes
+let tautology t =
+  Instrument.bump c_taut_calls;
+  Instrument.time t_taut (fun () -> taut_fast t.dom t.cubes 0 (space_size t.dom))
 
 let covers_cube t c =
   if Cube.is_empty t.dom c then true
-  else taut_rec t.dom (cofactor t ~wrt:c).cubes
+  else begin
+    Instrument.bump c_taut_calls;
+    Instrument.time t_taut (fun () ->
+        taut_fast t.dom (cofactor t ~wrt:c).cubes 0 (space_size t.dom))
+  end
 
 let covers a b = List.for_all (fun c -> covers_cube a c) b.cubes
 
@@ -116,56 +326,93 @@ let complement_cube dom c =
   done;
   !acc
 
+module BvTbl = Hashtbl.Make (struct
+  type t = Bitvec.t
+
+  let equal = Bitvec.equal
+  let hash = Bitvec.hash
+end)
+
 (* Merge cubes that are identical outside variable [v] by unioning their
    [v] fields; cubes whose union becomes a full field stay as such. *)
 let merge_on_var dom cubes v =
   let off = Domain.offset dom v in
   let sz = Domain.size dom v in
-  let tbl = Hashtbl.create 31 in
+  let tbl = BvTbl.create 31 in
   List.iter
     (fun c ->
       let key = Bitvec.copy c in
       Bitvec.clear_range key off sz;
-      let key = Bitvec.to_string key in
-      match Hashtbl.find_opt tbl key with
-      | None -> Hashtbl.add tbl key (Bitvec.copy c)
+      match BvTbl.find_opt tbl key with
+      | None -> BvTbl.add tbl key (Bitvec.copy c)
       | Some existing -> Bitvec.union_into existing c)
     cubes;
-  Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+  BvTbl.fold (fun _ c acc -> c :: acc) tbl []
 
-let rec compl_rec dom cubes =
+let scc_cubes dom cubes = (single_cube_containment { dom; cubes }).cubes
+
+let rec compl_fast dom cubes depth =
+  Instrument.bump c_compl_nodes;
+  Instrument.observe h_compl_depth depth;
   match cubes with
   | [] -> [ Bitvec.full (Domain.width dom) ]
   | _ when List.exists Bitvec.is_full cubes -> []
   | [ c ] -> complement_cube dom c
   | _ -> (
-      match most_binate_var dom cubes with
-      | None -> [] (* some cube is full: handled above; defensive *)
-      | Some v ->
-          let sz = Domain.size dom v in
-          let off = Domain.offset dom v in
-          let branches = ref [] in
-          for p = 0 to sz - 1 do
-            let sub = compl_rec dom (cofactor_literal dom cubes v p) in
-            (* AND each result cube with the literal (v = p). *)
-            List.iter
-              (fun c ->
-                let c' = Bitvec.copy c in
-                Bitvec.clear_range c' off sz;
-                Bitvec.set c' (off + p);
-                branches := c' :: !branches)
-              sub
-          done;
-          merge_on_var dom !branches v)
+      match components dom cubes with
+      | (_ :: _ :: _) as comps ->
+          (* ¬(F₁ ∪ F₂) = ¬F₁ ∩ ¬F₂, and for variable-disjoint components
+             every pairwise cube intersection is non-empty. *)
+          Instrument.bump c_component_reductions;
+          List.fold_left
+            (fun acc comp ->
+              let cc = compl_fast dom comp (depth + 1) in
+              match acc with
+              | None -> Some cc
+              | Some acc ->
+                  Some
+                    (scc_cubes dom
+                       (List.concat_map
+                          (fun a -> List.filter_map (fun b -> Cube.inter dom a b) cc)
+                          acc)))
+            None comps
+          |> Option.value ~default:[ Bitvec.full (Domain.width dom) ]
+      | _ -> (
+          let st = node_stats dom cubes in
+          match most_binate_of_stats dom st with
+          | None -> [] (* some cube is full: handled above; defensive *)
+          | Some v ->
+              let off = Domain.offset dom v and sz = Domain.size dom v in
+              let groups =
+                if sz <= 2 then [ [ 0 ]; [ 1 ] ] else part_groups dom cubes v
+              in
+              let branches = ref [] in
+              List.iter
+                (fun parts ->
+                  let sub = compl_fast dom (cofactor_literal dom cubes v (List.hd parts)) (depth + 1) in
+                  (* AND each result cube with the literal (v ∈ parts). *)
+                  List.iter
+                    (fun c ->
+                      let c' = Bitvec.copy c in
+                      Bitvec.clear_range c' off sz;
+                      List.iter (fun p -> Bitvec.set c' (off + p)) parts;
+                      branches := c' :: !branches)
+                    sub)
+                groups;
+              merge_on_var dom !branches v))
 
 let complement t =
-  single_cube_containment { t with cubes = compl_rec t.dom t.cubes }
+  Instrument.bump c_compl_calls;
+  Instrument.time t_compl (fun () ->
+      single_cube_containment { t with cubes = compl_fast t.dom t.cubes 0 })
 
 let complement_within t ~space =
-  let relative = cofactor t ~wrt:space in
-  let comp = compl_rec t.dom relative.cubes in
-  let cubes = List.filter_map (fun c -> Cube.inter t.dom c space) comp in
-  single_cube_containment { t with cubes }
+  Instrument.bump c_compl_calls;
+  Instrument.time t_compl (fun () ->
+      let relative = cofactor t ~wrt:space in
+      let comp = compl_fast t.dom relative.cubes 0 in
+      let cubes = List.filter_map (fun c -> Cube.inter t.dom c space) comp in
+      single_cube_containment { t with cubes })
 
 let supercube t =
   match t.cubes with
@@ -181,7 +428,8 @@ let rec count_rec dom cubes space_size =
   | [] -> 0
   | _ when List.exists Bitvec.is_full cubes -> space_size
   | _ -> (
-      match most_binate_var dom cubes with
+      let st = node_stats dom cubes in
+      match most_binate_of_stats dom st with
       | None -> space_size
       | Some v ->
           let sz = Domain.size dom v in
@@ -192,6 +440,98 @@ let rec count_rec dom cubes space_size =
           !total)
 
 let num_minterms t = count_rec t.dom t.cubes (Domain.num_minterms t.dom)
+
+(* --- Naive reference kernel -------------------------------------------- *)
+
+(* The seed's straight-line recursions, retained verbatim (minus
+   instrumentation) as the oracle for the randomized differential suite
+   in test/test_espresso_differential.ml: the fast kernel above must
+   agree with these on every generated cover. *)
+module Naive = struct
+  let most_binate_var dom cubes =
+    let n = Domain.num_vars dom in
+    let best = ref (-1) and best_count = ref 0 in
+    for v = 0 to n - 1 do
+      let count =
+        List.fold_left (fun acc c -> if Cube.var_full dom c v then acc else acc + 1) 0 cubes
+      in
+      if count > !best_count then begin
+        best := v;
+        best_count := count
+      end
+    done;
+    if !best_count = 0 then None else Some !best
+
+  let cofactor_literal dom cubes v p =
+    let off = Domain.offset dom v in
+    let sz = Domain.size dom v in
+    List.filter_map
+      (fun c ->
+        if Bitvec.get c (off + p) then begin
+          let c' = Bitvec.copy c in
+          Bitvec.set_range c' off sz;
+          Some c'
+        end
+        else None)
+      cubes
+
+  let rec taut_rec dom cubes =
+    match cubes with
+    | [] -> false
+    | _ when List.exists Bitvec.is_full cubes -> true
+    | _ -> (
+        match most_binate_var dom cubes with
+        | None -> false
+        | Some v ->
+            let sz = Domain.size dom v in
+            let rec parts p =
+              p = sz || (taut_rec dom (cofactor_literal dom cubes v p) && parts (p + 1))
+            in
+            parts 0)
+
+  let tautology t = taut_rec t.dom t.cubes
+
+  let merge_on_var dom cubes v =
+    let off = Domain.offset dom v in
+    let sz = Domain.size dom v in
+    let tbl = Hashtbl.create 31 in
+    List.iter
+      (fun c ->
+        let key = Bitvec.copy c in
+        Bitvec.clear_range key off sz;
+        let key = Bitvec.to_string key in
+        match Hashtbl.find_opt tbl key with
+        | None -> Hashtbl.add tbl key (Bitvec.copy c)
+        | Some existing -> Bitvec.union_into existing c)
+      cubes;
+    Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+
+  let rec compl_rec dom cubes =
+    match cubes with
+    | [] -> [ Bitvec.full (Domain.width dom) ]
+    | _ when List.exists Bitvec.is_full cubes -> []
+    | [ c ] -> complement_cube dom c
+    | _ -> (
+        match most_binate_var dom cubes with
+        | None -> []
+        | Some v ->
+            let sz = Domain.size dom v in
+            let off = Domain.offset dom v in
+            let branches = ref [] in
+            for p = 0 to sz - 1 do
+              let sub = compl_rec dom (cofactor_literal dom cubes v p) in
+              List.iter
+                (fun c ->
+                  let c' = Bitvec.copy c in
+                  Bitvec.clear_range c' off sz;
+                  Bitvec.set c' (off + p);
+                  branches := c' :: !branches)
+                sub
+            done;
+            merge_on_var dom !branches v)
+
+  let complement t = single_cube_containment { t with cubes = compl_rec t.dom t.cubes }
+end
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";

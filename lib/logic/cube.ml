@@ -3,11 +3,50 @@ type t = Bitvec.t
 let full d = Bitvec.full (Domain.width d)
 let empty_cube d = Bitvec.create (Domain.width d)
 
+(* The per-variable field tests below run off the (word, mask) layout
+   precomputed in [Domain]: a flat single-word fast path covering almost
+   every variable, with a general multi-word fallback. The innermost
+   loops are pure word arithmetic with no division. *)
+
+let var_empty_slow d c v =
+  let ws = Domain.var_words d v and ms = Domain.var_masks d v in
+  let n = Array.length ws in
+  let rec loop i = i = n || (Bitvec.word c ws.(i) land ms.(i) = 0 && loop (i + 1)) in
+  loop 0
+
+let var_empty d c v =
+  let w = (Domain.var_word1 d).(v) in
+  if w >= 0 then Bitvec.word c w land (Domain.var_mask1 d).(v) = 0 else var_empty_slow d c v
+
+let var_full_slow d c v =
+  let ws = Domain.var_words d v and ms = Domain.var_masks d v in
+  let n = Array.length ws in
+  let rec loop i = i = n || (Bitvec.word c ws.(i) land ms.(i) = ms.(i) && loop (i + 1)) in
+  loop 0
+
+let var_full d c v =
+  let w = (Domain.var_word1 d).(v) in
+  if w >= 0 then
+    let m = (Domain.var_mask1 d).(v) in
+    Bitvec.word c w land m = m
+  else var_full_slow d c v
+
+let var_cardinal_slow d c v =
+  let ws = Domain.var_words d v and ms = Domain.var_masks d v in
+  let acc = ref 0 in
+  for i = 0 to Array.length ws - 1 do
+    acc := !acc + Bitvec.popcount_word (Bitvec.word c ws.(i) land ms.(i))
+  done;
+  !acc
+
+let var_cardinal d c v =
+  let w = (Domain.var_word1 d).(v) in
+  if w >= 0 then Bitvec.popcount_word (Bitvec.word c w land (Domain.var_mask1 d).(v))
+  else var_cardinal_slow d c v
+
 let is_empty d c =
   let n = Domain.num_vars d in
-  let rec loop v =
-    v < n && (Bitvec.range_empty c (Domain.offset d v) (Domain.size d v) || loop (v + 1))
-  in
+  let rec loop v = v < n && (var_empty d c v || loop (v + 1)) in
   loop 0
 
 let is_full _d c = Bitvec.is_full c
@@ -17,10 +56,6 @@ let var_bits d c v =
   let sz = Domain.size d v in
   let rec loop p acc = if p < 0 then acc else loop (p - 1) (if Bitvec.get c (off + p) then p :: acc else acc) in
   loop (sz - 1) []
-
-let var_full d c v = Bitvec.range_full c (Domain.offset d v) (Domain.size d v)
-let var_empty d c v = Bitvec.range_empty c (Domain.offset d v) (Domain.size d v)
-let var_cardinal d c v = Bitvec.range_cardinal c (Domain.offset d v) (Domain.size d v)
 
 let set_var d c v parts =
   let c' = Bitvec.copy c in
@@ -40,13 +75,30 @@ let of_minterm d values =
   Array.iteri (fun v value -> Bitvec.set c (Domain.offset d v + value)) values;
   c
 
-let intersects d a b =
-  let i = Bitvec.inter a b in
-  not (is_empty d i)
+(* The intersection of two cubes is empty iff some variable's fields are
+   disjoint; checking field by field needs no intermediate vector. *)
+let var_intersects_slow d a b v =
+  let ws = Domain.var_words d v and ms = Domain.var_masks d v in
+  let n = Array.length ws in
+  let rec loop i =
+    i < n
+    && (Bitvec.word a ws.(i) land Bitvec.word b ws.(i) land ms.(i) <> 0 || loop (i + 1))
+  in
+  loop 0
 
-let inter d a b =
-  let i = Bitvec.inter a b in
-  if is_empty d i then None else Some i
+let intersects d a b =
+  let vw = Domain.var_word1 d and vm = Domain.var_mask1 d in
+  let n = Array.length vw in
+  let rec loop v =
+    v = n
+    || (let w = vw.(v) in
+        (if w >= 0 then Bitvec.word a w land Bitvec.word b w land vm.(v) <> 0
+         else var_intersects_slow d a b v)
+        && loop (v + 1))
+  in
+  loop 0
+
+let inter d a b = if intersects d a b then Some (Bitvec.inter a b) else None
 
 let contains a b = Bitvec.subset b a
 let supercube a b = Bitvec.union a b
@@ -55,11 +107,15 @@ let cofactor d c ~wrt =
   if intersects d c wrt then Some (Bitvec.union c (Bitvec.complement wrt)) else None
 
 let distance d a b =
-  let i = Bitvec.inter a b in
-  let n = Domain.num_vars d in
+  let vw = Domain.var_word1 d and vm = Domain.var_mask1 d in
   let count = ref 0 in
-  for v = 0 to n - 1 do
-    if Bitvec.range_empty i (Domain.offset d v) (Domain.size d v) then incr count
+  for v = 0 to Array.length vw - 1 do
+    let w = vw.(v) in
+    let hit =
+      if w >= 0 then Bitvec.word a w land Bitvec.word b w land vm.(v) <> 0
+      else var_intersects_slow d a b v
+    in
+    if not hit then incr count
   done;
   !count
 

@@ -25,6 +25,26 @@ val offset : t -> int -> int
 (** [width d] is the total number of bits of a cube over [d]. *)
 val width : t -> int
 
+(** [var_words d v] and [var_masks d v] give the word-level layout of
+    variable [v]'s field over [Bitvec]'s words: the field is the union
+    over [i] of the bits [var_masks d v .(i)] of word [var_words d v
+    .(i)]. Precomputed at [create] so that the innermost cube loops need
+    no division; the returned arrays are shared and must not be
+    mutated. *)
+val var_words : t -> int -> int array
+
+val var_masks : t -> int -> int array
+
+(** [var_word1 d] and [var_mask1 d] are the flat single-word fast path:
+    when variable [v]'s field lies in one word, [var_word1 d .(v)] is
+    that word's index and [var_mask1 d .(v)] its mask; a field that
+    straddles a word boundary has [var_word1 d .(v) = -1] and callers
+    fall back to [var_words]/[var_masks]. Shared arrays — do not
+    mutate. *)
+val var_word1 : t -> int array
+
+val var_mask1 : t -> int array
+
 (** [equal a b] holds iff the two domains have identical variable sizes. *)
 val equal : t -> t -> bool
 

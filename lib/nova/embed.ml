@@ -1,3 +1,10 @@
+(* Instrumentation probes: no-ops unless Instrument.enable (). *)
+let t_solve = Instrument.timer "embed.solve"
+let c_ticks = Instrument.counter "embed.work_ticks"
+let c_verify = Instrument.counter "embed.verify_calls"
+let c_cascades = Instrument.counter "embed.cascade_calls"
+let h_backtrack = Instrument.histogram "embed.candidate_faces_tried"
+
 type level_policy = Fixed_min | Flexible of int | Dimvect of int array
 
 type params = {
@@ -16,6 +23,7 @@ type outcome = Sat of { codes : int array; faces : Face.t array } | Unsat | Exha
 exception Work_exhausted
 
 let solve (poset : Input_poset.t) params =
+  Instrument.time t_solve @@ fun () ->
   let k = params.k in
   let n = poset.Input_poset.num_states in
   let elements = poset.Input_poset.elements in
@@ -40,12 +48,14 @@ let solve (poset : Input_poset.t) params =
     let work = params.work_counter in
     let tick () =
       incr work;
+      Instrument.bump c_ticks;
       match params.max_work with
       | Some limit when !work > limit -> raise Work_exhausted
       | Some _ | None -> ()
     in
     (* Verification of Section 3.4.3 against every assigned element. *)
     let verify id face =
+      Instrument.bump c_verify;
       let e = elements.(id) in
       e.Input_poset.card <= Face.cardinality k face
       &&
@@ -114,6 +124,7 @@ let solve (poset : Input_poset.t) params =
        intersection of the fathers' faces; cascade to a fixpoint.
        Returns the list of forced ids, or None after undoing on conflict. *)
     let cascade () =
+      Instrument.bump c_cascades;
       let forced = ref [] in
       let undo () = List.iter unassign !forced in
       let rec fix () =
@@ -265,28 +276,33 @@ let solve (poset : Input_poset.t) params =
       match select last with
       | None -> all_assigned ()
       | Some id ->
-          let rec try_faces seq =
+          let rec try_faces tried seq =
             match seq () with
-            | Seq.Nil -> false
+            | Seq.Nil ->
+                Instrument.observe h_backtrack tried;
+                false
             | Seq.Cons (f, rest) ->
                 tick ();
                 if verify id f then begin
                   assign id f;
                   match cascade () with
                   | Some forced ->
-                      if go (Some id) then true
+                      if go (Some id) then begin
+                        Instrument.observe h_backtrack (tried + 1);
+                        true
+                      end
                       else begin
                         List.iter unassign forced;
                         unassign id;
-                        try_faces rest
+                        try_faces (tried + 1) rest
                       end
                   | None ->
                       unassign id;
-                      try_faces rest
+                      try_faces (tried + 1) rest
                 end
-                else try_faces rest
+                else try_faces (tried + 1) rest
           in
-          try_faces (candidate_faces id)
+          try_faces 0 (candidate_faces id)
     in
     match
       assign poset.Input_poset.universe (Face.full k);

@@ -1,0 +1,18 @@
+#!/bin/sh
+# CI entry point: build everything, run the full test suite (unit +
+# property + randomized differential), then smoke the ESPRESSO kernel
+# benchmark so BENCH_espresso.json generation stays healthy.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build @all
+
+echo "== tests =="
+dune runtest --force
+
+echo "== bench smoke (quick espresso kernels) =="
+dune exec bench/main.exe -- --quick espresso
+
+echo "CI OK"

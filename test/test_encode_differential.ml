@@ -1,0 +1,135 @@
+(* Randomized differential tests for the encoding pipeline.
+
+   Random small machines come from [Benchmarks.Generator]; every
+   encoding algorithm must produce an injective assignment whose
+   ESPRESSO-minimized implementation simulates the symbolic machine
+   exactly ([Simulate.check_encoding] checks every state under every
+   input minterm), and the face constraints an algorithm reports as
+   satisfied must actually pass [Constraints.satisfied]. *)
+
+let check = Alcotest.(check bool)
+
+let machines =
+  List.concat_map
+    (fun seed ->
+      [
+        Benchmarks.Generator.generate
+          ~name:(Printf.sprintf "gen_s%d_a" seed)
+          ~num_inputs:2 ~num_outputs:2 ~num_states:4 ~num_rows:12 ~seed;
+        Benchmarks.Generator.generate
+          ~name:(Printf.sprintf "gen_s%d_b" seed)
+          ~num_inputs:3 ~num_outputs:2 ~num_states:6 ~num_rows:18 ~seed;
+        Benchmarks.Generator.generate
+          ~name:(Printf.sprintf "gen_s%d_c" seed)
+          ~num_inputs:2 ~num_outputs:3 ~num_states:8 ~num_rows:24 ~seed;
+      ])
+    [ 11; 23; 37; 58 ]
+
+let injective (e : Encoding.t) =
+  let n = Encoding.num_states e in
+  let codes = List.init n (Encoding.code e) in
+  List.length (List.sort_uniq compare codes) = n
+
+let check_equivalent name m e =
+  match Simulate.check_encoding m e with
+  | Simulate.Equivalent -> ()
+  | Simulate.Mismatch { state; input; detail } ->
+      Alcotest.failf "%s: mismatch in state %d under input %s: %s" name state input detail
+
+(* Every algorithm, through the same driver the CLI and harness use. *)
+let test_trace_equivalence () =
+  let algos =
+    [ Harness.Driver.Ihybrid; Harness.Driver.Igreedy; Harness.Driver.Iohybrid ]
+  in
+  List.iter
+    (fun (m : Fsm.t) ->
+      List.iter
+        (fun algo ->
+          let name = Printf.sprintf "%s/%s" m.Fsm.name (Harness.Driver.name algo) in
+          let e = Harness.Driver.encode m algo in
+          check (name ^ " injective") true (injective e);
+          check_equivalent name m e)
+        algos;
+      (* The exact search is exponential in the number of states: keep it
+         to the small machines. *)
+      if Fsm.num_states ~m <= 6 then begin
+        let name = m.Fsm.name ^ "/iexact" in
+        let e = Harness.Driver.encode m Harness.Driver.Iexact in
+        check (name ^ " injective") true (injective e);
+        check_equivalent name m e
+      end)
+    machines
+
+(* The satisfied/unsatisfied split reported by the heuristics must be
+   honest: everything in [satisfied] passes [Constraints.satisfied], and
+   iexact satisfies every constraint outright. *)
+let test_reported_constraints_hold () =
+  List.iter
+    (fun (m : Fsm.t) ->
+      let n = Fsm.num_states ~m in
+      let ics = Constraints.of_symbolic (Symbolic.of_fsm m) in
+      let ih = Ihybrid.ihybrid_code ~num_states:n ics in
+      List.iter
+        (fun (ic : Constraints.input_constraint) ->
+          check
+            (m.Fsm.name ^ "/ihybrid reported-satisfied holds")
+            true
+            (Constraints.satisfied ih.Ihybrid.encoding ic.Constraints.states))
+        ih.Ihybrid.satisfied;
+      let ig = Igreedy.igreedy_code ~num_states:n ics in
+      List.iter
+        (fun (ic : Constraints.input_constraint) ->
+          check
+            (m.Fsm.name ^ "/igreedy reported-satisfied holds")
+            true
+            (Constraints.satisfied ig.Igreedy.encoding ic.Constraints.states))
+        ig.Igreedy.satisfied;
+      let io = Iohybrid.iohybrid_code (Symbmin.run (Symbolic.of_fsm m)).Symbmin.problem in
+      List.iter
+        (fun (ic : Constraints.input_constraint) ->
+          check
+            (m.Fsm.name ^ "/iohybrid reported-satisfied holds")
+            true
+            (Constraints.satisfied io.Iohybrid.encoding ic.Constraints.states))
+        io.Iohybrid.sat_inputs;
+      if n <= 6 then
+        match Iexact.iexact_code ~num_states:n (List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) ics) with
+        | Iexact.Sat { k; codes; _ } ->
+            let e = Encoding.make ~nbits:k codes in
+            List.iter
+              (fun (ic : Constraints.input_constraint) ->
+                check (m.Fsm.name ^ "/iexact satisfies every constraint") true
+                  (Constraints.satisfied e ic.Constraints.states))
+              ics
+        | Iexact.Exhausted -> Alcotest.failf "%s: iexact exhausted on a tiny machine" m.Fsm.name)
+    machines
+
+(* The partition reported by ihybrid/igreedy covers exactly the input
+   constraint list (no constraint silently dropped). *)
+let test_reported_partition_complete () =
+  List.iter
+    (fun (m : Fsm.t) ->
+      let n = Fsm.num_states ~m in
+      let ics = Constraints.of_symbolic (Symbolic.of_fsm m) in
+      let total = List.length ics in
+      let ih = Ihybrid.ihybrid_code ~num_states:n ics in
+      Alcotest.(check int)
+        (m.Fsm.name ^ "/ihybrid partitions the constraints")
+        total
+        (List.length ih.Ihybrid.satisfied + List.length ih.Ihybrid.unsatisfied);
+      let ig = Igreedy.igreedy_code ~num_states:n ics in
+      Alcotest.(check int)
+        (m.Fsm.name ^ "/igreedy partitions the constraints")
+        total
+        (List.length ig.Igreedy.satisfied + List.length ig.Igreedy.unsatisfied))
+    machines
+
+let suite =
+  [
+    Alcotest.test_case "random machines: encode+minimize simulates the FSM" `Quick
+      test_trace_equivalence;
+    Alcotest.test_case "reported-satisfied constraints actually hold" `Quick
+      test_reported_constraints_hold;
+    Alcotest.test_case "satisfied+unsatisfied partition the constraint list" `Quick
+      test_reported_partition_complete;
+  ]

@@ -23,4 +23,7 @@ let () =
       ("driver", Test_driver.suite);
       ("symbolic-details", Test_symbolic_details.suite);
       ("roundtrips", Test_roundtrips.suite);
+      ("espresso-differential", Test_espresso_differential.suite);
+      ("encode-differential", Test_encode_differential.suite);
+      ("regression-counts", Test_regression_counts.suite);
     ]

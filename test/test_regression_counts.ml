@@ -1,0 +1,51 @@
+(* Regression pins for the minimizer's product-term counts.
+
+   The fast unate-aware kernels must not change what the minimizer
+   produces — only how fast it produces it. These pins were measured on
+   the seed implementation under two deterministic encodings (1-hot and
+   ihybrid, both encoding paths are deterministic for these machines)
+   and are asserted as upper bounds, so a future genuinely-better
+   minimizer passes while a silent quality regression fails. *)
+
+let pins =
+  (* (machine, 1-hot product terms, ihybrid product terms) *)
+  [
+    ("lion", 8, 5);
+    ("bbtas", 19, 14);
+    ("shiftreg", 16, 4);
+    ("modulo12", 24, 17);
+    ("dk15", 14, 11);
+    ("beecount", 11, 8);
+    ("dk27", 6, 6);
+    ("dol", 6, 7);
+    ("train11", 7, 7);
+    ("lion9", 5, 5);
+  ]
+
+let check_le name bound actual =
+  if actual > bound then
+    Alcotest.failf "%s: %d product terms, regression over the pinned %d" name actual bound
+
+let test_onehot_counts () =
+  List.iter
+    (fun (nm, onehot_pin, _) ->
+      let m = Benchmarks.Suite.find nm in
+      let r = Encoded.implement m (Encoding.one_hot (Fsm.num_states ~m)) in
+      check_le (nm ^ "/onehot") onehot_pin r.Encoded.num_cubes)
+    pins
+
+let test_ihybrid_counts () =
+  List.iter
+    (fun (nm, _, ihybrid_pin) ->
+      let m = Benchmarks.Suite.find nm in
+      let _, r = Harness.Driver.report m Harness.Driver.Ihybrid in
+      check_le (nm ^ "/ihybrid") ihybrid_pin r.Encoded.num_cubes)
+    pins
+
+let suite =
+  [
+    Alcotest.test_case "1-hot product terms stay at or below the seed pins" `Quick
+      test_onehot_counts;
+    Alcotest.test_case "ihybrid product terms stay at or below the seed pins" `Quick
+      test_ihybrid_counts;
+  ]

@@ -154,6 +154,101 @@ let run_espresso ~quick () =
   close_out oc;
   Format.printf "wrote BENCH_espresso.json@."
 
+(* --- staged pipeline benchmark → BENCH_pipeline.json ------------------- *)
+
+(* Per machine, two pipeline runs: ihybrid under an unlimited budget (the
+   reference path) and iexact under a 50 ms wall-clock deadline (the
+   graceful-degradation path — the fallback ladder must still produce an
+   encoding). Each row records which rung produced the encoding, the
+   degradations along the way, and the per-stage Instrument spans. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pipeline_stage_spans () =
+  Instrument.timers ()
+  |> List.filter (fun (n, _, _) ->
+         (String.length n >= 9 && String.sub n 0 9 = "pipeline.") || n = "espresso.minimize")
+  |> List.map (fun (n, s, calls) ->
+         Printf.sprintf "{\"name\":\"%s\",\"seconds\":%.6f,\"calls\":%d}" (json_escape n) s calls)
+  |> String.concat ","
+
+let pipeline_bench_one (m : Fsm.t) ~mode ~algo ~budget =
+  Instrument.reset ();
+  let n = Fsm.num_states ~m in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Harness.Driver.report ~budget m algo in
+  let wall = Unix.gettimeofday () -. t0 in
+  match outcome with
+  | Error err ->
+      Format.printf "%-12s %-12s %-8s FAILED: %s@." m.Fsm.name (Harness.Driver.name algo) mode
+        (Nova_error.to_string err);
+      Printf.sprintf
+        "{\"name\":\"%s\",\"mode\":\"%s\",\"algorithm\":\"%s\",\"states\":%d,\"rows\":%d,\"wall_s\":%.6f,\"error\":\"%s\",\"stages\":[%s]}"
+        m.Fsm.name mode (Harness.Driver.name algo) n
+        (List.length m.Fsm.transitions)
+        wall
+        (json_escape (Nova_error.to_string err))
+        (pipeline_stage_spans ())
+  | Ok (o, r) ->
+      let degradations =
+        List.map
+          (fun (rung, err) ->
+            Printf.sprintf "{\"rung\":\"%s\",\"error\":\"%s\"}" (Harness.Driver.rung_name rung)
+              (json_escape (Nova_error.to_string err)))
+          o.Harness.Driver.degradations
+      in
+      Format.printf
+        "%-12s %-12s %-8s wall=%8.4fs produced_by=%-10s degradations=%d nbits=%2d cubes=%4d area=%6d@."
+        m.Fsm.name (Harness.Driver.name algo) mode wall
+        (Harness.Driver.rung_name o.Harness.Driver.produced_by)
+        (List.length o.Harness.Driver.degradations)
+        o.Harness.Driver.encoding.Encoding.nbits r.Encoded.num_cubes r.Encoded.area;
+      Printf.sprintf
+        "{\"name\":\"%s\",\"mode\":\"%s\",\"algorithm\":\"%s\",\"states\":%d,\"rows\":%d,\"wall_s\":%.6f,\"produced_by\":\"%s\",\"degradations\":[%s],\"nbits\":%d,\"num_cubes\":%d,\"area\":%d,\"stages\":[%s]}"
+        m.Fsm.name mode (Harness.Driver.name algo) n
+        (List.length m.Fsm.transitions)
+        wall
+        (Harness.Driver.rung_name o.Harness.Driver.produced_by)
+        (String.concat "," degradations)
+        o.Harness.Driver.encoding.Encoding.nbits r.Encoded.num_cubes r.Encoded.area
+        (pipeline_stage_spans ())
+
+let run_pipeline ~quick () =
+  let was_on = Instrument.enabled () in
+  Instrument.enable ();
+  Format.printf "@.== staged pipeline benchmark (%s) ==@." (if quick then "quick" else "full");
+  let rows =
+    List.concat_map
+      (fun m ->
+        let unlimited =
+          pipeline_bench_one m ~mode:"unlimited" ~algo:Harness.Driver.Ihybrid
+            ~budget:Budget.unlimited
+        in
+        let deadline =
+          pipeline_bench_one m ~mode:"deadline50ms" ~algo:Harness.Driver.Iexact
+            ~budget:(Budget.create ~deadline_ms:50.0 ())
+        in
+        [ unlimited; deadline ])
+      (espresso_bench_machines ~quick)
+  in
+  if not was_on then Instrument.disable ();
+  let oc = open_out "BENCH_pipeline.json" in
+  Printf.fprintf oc "{\"schema\":\"nova-bench-pipeline/v1\",\"mode\":\"%s\",\"runs\":[%s]}\n"
+    (if quick then "quick" else "full")
+    (String.concat "," rows);
+  close_out oc;
+  Format.printf "wrote BENCH_pipeline.json@."
+
 let run_bechamel () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -195,6 +290,7 @@ let () =
     | "fig10" -> Harness.Tables.fig10 ~quick ppf ()
     | "ablations" -> Harness.Ablations.all ~quick ppf ()
     | "espresso" -> run_espresso ~quick ()
+    | "pipeline" -> run_pipeline ~quick ()
     | "bechamel" -> run_bechamel ()
     | other -> Format.eprintf "unknown table %S@." other
   in
@@ -203,6 +299,7 @@ let () =
       Harness.Tables.all ~quick ppf ();
       Harness.Ablations.all ~quick ppf ();
       run_espresso ~quick ();
+      run_pipeline ~quick ();
       if not no_bechamel then run_bechamel ()
   | picks -> List.iter dispatch picks);
   Format.pp_print_flush ppf ()

@@ -5,30 +5,46 @@
      nova stats machine.kiss2
      nova constraints machine.kiss2
      nova encode --algorithm ihybrid machine.kiss2
-     nova encode --algorithm iohybrid --pla machine.kiss2
+     nova encode --algorithm iexact --budget-ms 50 machine.kiss2
      nova encode --algorithm mustang-nt --bits 5 machine.kiss2
      nova bench dk16                 (run on a built-in benchmark machine)
-*)
+     nova gen --states 80 --rows 400 (emit a synthetic stress machine)
+
+   Exit codes (see Nova_error.exit_code): 0 success, 2 parse error,
+   3 budget exhausted, 4 infeasible, 5 invalid request. *)
 
 open Cmdliner
 
 let read_machine path =
-  try
-    if Sys.file_exists path then begin
-      let ic = open_in path in
-      let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      close_in ic;
-      Kiss.parse ~name:(Filename.remove_extension (Filename.basename path)) text
-    end
-    else Benchmarks.Suite.find path
-  with
-  | Kiss.Parse_error msg ->
-      Printf.eprintf "nova: cannot parse %s: %s\n" path msg;
-      exit 2
-  | Not_found ->
-      Printf.eprintf "nova: no file and no built-in machine called %S (try `nova list`)\n" path;
-      exit 2
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match
+      Kiss.parse_result ~name:(Filename.remove_extension (Filename.basename path)) ~file:path
+        text
+    with
+    | Ok m -> Ok m
+    | Error { Kiss.file; line; col; msg } ->
+        Error (Nova_error.Parse_error { file; line; col; msg })
+  end
+  else
+    match Benchmarks.Suite.find path with
+    | m -> Ok m
+    | exception Not_found ->
+        Error
+          (Nova_error.Invalid_request
+             (Printf.sprintf "no file and no built-in machine called %S (try `nova list`)" path))
+
+(* Print the error the structured way and return its distinct exit
+   code; every subcommand funnels failures through here. *)
+let fail_with err =
+  Printf.eprintf "nova: %s\n" (Nova_error.to_string err);
+  Nova_error.exit_code err
+
+let with_machine path f =
+  match read_machine path with Ok m -> f m | Error err -> fail_with err
 
 let machine_arg =
   let doc = "KISS2 file, or the name of a built-in benchmark machine." in
@@ -38,12 +54,13 @@ let machine_arg =
 
 let stats_cmd =
   let run path =
-    let m = read_machine path in
+    with_machine path @@ fun m ->
     let s = Fsm.stats m in
     Printf.printf "%s: %d inputs, %d outputs, %d states, %d product terms\n" s.Fsm.stat_name
       s.Fsm.stat_inputs s.Fsm.stat_outputs s.Fsm.stat_states s.Fsm.stat_products;
     Printf.printf "minimum code length: %d bits; 1-hot: %d bits\n" (Fsm.min_code_length m)
-      s.Fsm.stat_states
+      s.Fsm.stat_states;
+    0
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print the statistics of a machine (Table I columns).")
@@ -53,7 +70,7 @@ let stats_cmd =
 
 let constraints_cmd =
   let run path =
-    let m = read_machine path in
+    with_machine path @@ fun m ->
     let sym = Symbolic.of_fsm m in
     let ics = Constraints.of_symbolic sym in
     Printf.printf "input constraints of %s (from multiple-valued minimization):\n" m.Fsm.name;
@@ -71,7 +88,8 @@ let constraints_cmd =
     List.iter
       (fun (u, v, w) ->
         Printf.printf "  %s > %s (gain %d)\n" m.Fsm.states.(u) m.Fsm.states.(v) w)
-      sm.Symbmin.graph
+      sm.Symbmin.graph;
+    0
   in
   Cmd.v
     (Cmd.info "constraints"
@@ -130,54 +148,98 @@ let instrument_arg =
   in
   Arg.(value & flag & info [ "instrument" ] ~doc)
 
-let encode algo bits seed pla instrument path =
+let budget_ms_arg =
+  let doc =
+    "Wall-clock deadline for the whole encode (milliseconds). When it passes, the encoder \
+     degrades down the fallback ladder and the minimizer returns its best cover so far."
+  in
+  Arg.(value & opt (some float) None & info [ "budget-ms" ] ~docv:"MS" ~doc)
+
+let max_work_arg =
+  let doc =
+    "Work budget for the whole encode (elementary search steps across all stages), on top \
+     of each algorithm's intrinsic per-call caps."
+  in
+  Arg.(value & opt (some int) None & info [ "max-work" ] ~docv:"N" ~doc)
+
+let fallback_arg =
+  let doc =
+    "Degrade to cheaper rungs of the algorithm's family when a stage fails or runs out of \
+     budget (iexact > semiexact > project > igreedy; iohybrid > ihybrid > igreedy). \
+     $(b,--no-fallback) turns the first failure into an error exit instead."
+  in
+  Arg.(value & opt ~vopt:true bool true & info [ "fallback" ] ~doc)
+
+let no_fallback_arg =
+  let doc = "Disable the fallback ladder (same as $(b,--fallback=false))." in
+  Arg.(value & flag & info [ "no-fallback" ] ~doc)
+
+let budget_of budget_ms max_work =
+  match (budget_ms, max_work) with
+  | None, None -> Budget.unlimited
+  | deadline_ms, max_work -> Budget.create ?max_work ?deadline_ms ()
+
+let driver_algo_of algo seed =
+  match algo with
+  | A_ihybrid -> Harness.Driver.Ihybrid
+  | A_igreedy -> Harness.Driver.Igreedy
+  | A_iohybrid -> Harness.Driver.Iohybrid
+  | A_iovariant -> Harness.Driver.Iovariant
+  | A_iexact -> Harness.Driver.Iexact
+  | A_kiss -> Harness.Driver.Kiss
+  | A_onehot -> Harness.Driver.One_hot
+  | A_random -> Harness.Driver.Random seed
+  | A_mustang (flavor, include_outputs) -> Harness.Driver.Mustang (flavor, include_outputs)
+
+let encode algo bits seed pla instrument budget_ms max_work fallback no_fallback path =
   if instrument then Instrument.enable ();
-  let m = read_machine path in
+  with_machine path @@ fun m ->
   let n = Fsm.num_states ~m in
-  let driver_algo =
-    match algo with
-    | A_ihybrid -> Harness.Driver.Ihybrid
-    | A_igreedy -> Harness.Driver.Igreedy
-    | A_iohybrid -> Harness.Driver.Iohybrid
-    | A_iovariant -> Harness.Driver.Iovariant
-    | A_iexact -> Harness.Driver.Iexact
-    | A_kiss -> Harness.Driver.Kiss
-    | A_onehot -> Harness.Driver.One_hot
-    | A_random -> Harness.Driver.Random seed
-    | A_mustang (flavor, include_outputs) -> Harness.Driver.Mustang (flavor, include_outputs)
-  in
-  let encoding, r =
-    match bits with
-    | Some b -> Harness.Driver.report ~bits:b m driver_algo
-    | None -> Harness.Driver.report m driver_algo
-  in
-  Printf.printf "machine %s: %d states encoded in %d bits\n" m.Fsm.name n
-    encoding.Encoding.nbits;
-  Array.iteri
-    (fun s name -> Printf.printf "  %-12s %s\n" name (Encoding.code_string encoding s))
-    m.Fsm.states;
-  Printf.printf "two-level implementation: %d product terms, PLA area %d\n" r.Encoded.num_cubes
-    r.Encoded.area;
-  if n <= 60 then begin
-    let onehot = Encoded.implement m (Encoding.one_hot n) in
-    Printf.printf "(1-hot reference: %d product terms, area %d)\n" onehot.Encoded.num_cubes
-      onehot.Encoded.area
-  end;
-  if pla then
-    Pla.print Format.std_formatter r.Encoded.cover
-      ~num_binary_vars:(m.Fsm.num_inputs + encoding.Encoding.nbits);
-  if instrument || Instrument.enabled () then Instrument.report Format.err_formatter ()
+  let budget = budget_of budget_ms max_work in
+  let fallback = fallback && not no_fallback in
+  match Harness.Driver.report ?bits ~budget ~fallback m (driver_algo_of algo seed) with
+  | Error err -> fail_with err
+  | Ok (outcome, r) ->
+      let encoding = outcome.Harness.Driver.encoding in
+      List.iter
+        (fun (rung, err) ->
+          Printf.eprintf "nova: %s rung degraded: %s\n"
+            (Harness.Driver.rung_name rung)
+            (Nova_error.to_string err))
+        outcome.Harness.Driver.degradations;
+      if outcome.Harness.Driver.degradations <> [] then
+        Printf.eprintf "nova: encoding produced by fallback rung %s\n"
+          (Harness.Driver.rung_name outcome.Harness.Driver.produced_by);
+      Printf.printf "machine %s: %d states encoded in %d bits\n" m.Fsm.name n
+        encoding.Encoding.nbits;
+      Array.iteri
+        (fun s name -> Printf.printf "  %-12s %s\n" name (Encoding.code_string encoding s))
+        m.Fsm.states;
+      Printf.printf "two-level implementation: %d product terms, PLA area %d\n"
+        r.Encoded.num_cubes r.Encoded.area;
+      if n <= 60 && not (Budget.exhausted budget) then begin
+        let onehot = Encoded.implement ~budget m (Encoding.one_hot n) in
+        Printf.printf "(1-hot reference: %d product terms, area %d)\n" onehot.Encoded.num_cubes
+          onehot.Encoded.area
+      end;
+      if pla then
+        Pla.print Format.std_formatter r.Encoded.cover
+          ~num_binary_vars:(m.Fsm.num_inputs + encoding.Encoding.nbits);
+      if instrument || Instrument.enabled () then Instrument.report Format.err_formatter ();
+      0
 
 let encode_cmd =
   Cmd.v
     (Cmd.info "encode" ~doc:"Encode a machine's states and report the implementation.")
-    Term.(const encode $ algo_arg $ bits_arg $ seed_arg $ pla_arg $ instrument_arg $ machine_arg)
+    Term.(
+      const encode $ algo_arg $ bits_arg $ seed_arg $ pla_arg $ instrument_arg $ budget_ms_arg
+      $ max_work_arg $ fallback_arg $ no_fallback_arg $ machine_arg)
 
 (* --- minstates -------------------------------------------------------------- *)
 
 let minstates_cmd =
   let run exact path =
-    let m = read_machine path in
+    with_machine path @@ fun m ->
     let before = Fsm.num_states ~m in
     let reduced =
       if exact then Reduce_states.reduce m else Reduce_states.reduce_incompletely_specified m
@@ -185,7 +247,8 @@ let minstates_cmd =
     let after = Fsm.num_states ~m:reduced in
     Printf.eprintf "%s: %d states -> %d states (%s)\n" m.Fsm.name before after
       (if exact then "partition refinement" else "compatibility merging");
-    print_string (Kiss.to_string reduced)
+    print_string (Kiss.to_string reduced);
+    0
   in
   let exact_arg =
     let doc =
@@ -202,14 +265,18 @@ let minstates_cmd =
 (* --- dot / blif -------------------------------------------------------------- *)
 
 let dot_cmd =
-  let run path = Export.dot Format.std_formatter (read_machine path) in
+  let run path =
+    with_machine path @@ fun m ->
+    Export.dot Format.std_formatter m;
+    0
+  in
   Cmd.v
     (Cmd.info "dot" ~doc:"Print the machine as a Graphviz digraph.")
     Term.(const run $ machine_arg)
 
 let blif_cmd =
   let run algo bits seed path =
-    let m = read_machine path in
+    with_machine path @@ fun m ->
     let n = Fsm.num_states ~m in
     let encoding =
       match algo with
@@ -231,7 +298,8 @@ let blif_cmd =
     in
     let net = Multilevel.optimize net in
     Export.blif Format.std_formatter net ~name:m.Fsm.name
-      ~num_inputs:(m.Fsm.num_inputs + encoding.Encoding.nbits)
+      ~num_inputs:(m.Fsm.num_inputs + encoding.Encoding.nbits);
+    0
   in
   Cmd.v
     (Cmd.info "blif"
@@ -239,6 +307,40 @@ let blif_cmd =
          "Encode the machine, optimize the encoded network multilevel, and print it in BLIF \
           (state bits appear as extra inputs/outputs).")
     Term.(const run $ algo_arg $ bits_arg $ seed_arg $ machine_arg)
+
+(* --- gen ----------------------------------------------------------------- *)
+
+let gen_cmd =
+  let run name inputs outputs states rows seed =
+    if states < 1 || rows < 1 || inputs < 1 || outputs < 0 then
+      fail_with (Nova_error.Invalid_request "gen: counts must be positive")
+    else begin
+      let m =
+        Benchmarks.Generator.generate ~name ~num_inputs:inputs ~num_outputs:outputs
+          ~num_states:states ~num_rows:rows ~seed
+      in
+      print_string (Kiss.to_string m);
+      0
+    end
+  in
+  let int_opt long short doc default =
+    Arg.(value & opt int default & info [ long; short ] ~docv:"N" ~doc)
+  in
+  let name_arg =
+    Arg.(value & opt string "gen" & info [ "name" ] ~docv:"NAME" ~doc:"Machine name.")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a deterministic synthetic benchmark machine in KISS2 format on stdout \
+          (the suite's generator; used by the CI deadline-stress run).")
+    Term.(
+      const run $ name_arg
+      $ int_opt "inputs" "i" "Number of primary inputs." 8
+      $ int_opt "outputs" "o" "Number of primary outputs." 8
+      $ int_opt "states" "s" "Number of states." 80
+      $ int_opt "rows" "p" "Number of transition rows." 400
+      $ int_opt "gen-seed" "g" "Generator seed." 4242)
 
 (* --- list ----------------------------------------------------------------- *)
 
@@ -251,7 +353,8 @@ let list_cmd =
         Printf.printf "%-10s %3d inputs %3d outputs %4d states %5d rows%s\n" e.Benchmarks.Suite.name
           s.Fsm.stat_inputs s.Fsm.stat_outputs s.Fsm.stat_states s.Fsm.stat_products
           (if e.Benchmarks.Suite.heavy then "  (heavy)" else ""))
-      Benchmarks.Suite.all
+      Benchmarks.Suite.all;
+    0
   in
   Cmd.v
     (Cmd.info "list" ~doc:"List the built-in benchmark machines.")
@@ -261,6 +364,9 @@ let () =
   let doc = "NOVA: optimal state assignment for two-level implementations" in
   let info = Cmd.info "nova" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
-          [ stats_cmd; constraints_cmd; encode_cmd; minstates_cmd; dot_cmd; blif_cmd; list_cmd ]))
+          [
+            stats_cmd; constraints_cmd; encode_cmd; minstates_cmd; dot_cmd; blif_cmd; gen_cmd;
+            list_cmd;
+          ]))

@@ -45,7 +45,7 @@ let () =
     pla.Pla.num_outputs
     (Logic.Cover.size pla.Pla.on)
     (Logic.Cover.size pla.Pla.dc);
-  let minimized = Espresso.minimize ~on:pla.Pla.on ~dc:pla.Pla.dc in
+  let minimized = Espresso.minimize ~dc:pla.Pla.dc pla.Pla.on in
   Printf.printf "minimized to %d cubes (%d literals):\n\n"
     (Logic.Cover.size minimized)
     (Logic.Cover.literal_cost minimized);

@@ -50,7 +50,7 @@ let of_cover (sym : Symbolic.t) (cover : Cover.t) =
          let c = compare b.weight a.weight in
          if c <> 0 then c else Bitvec.compare a.states b.states)
 
-let of_symbolic sym = of_cover sym (Symbolic.minimize sym)
+let of_symbolic ?budget sym = of_cover sym (Symbolic.minimize ?budget sym)
 
 type output_constraint = { covering : int; covered : int }
 

@@ -31,11 +31,12 @@ val satisfied_weight : Encoding.t -> input_constraint list -> int
 val num_satisfied : Encoding.t -> input_constraint list -> int
 
 (** [of_symbolic sym] extracts the weighted input constraints of a
-    machine: minimize the symbolic cover with ESPRESSO-MV and collect the
+    machine (an exhausted [budget] yields the constraints of a
+    less-minimized cover): minimize the symbolic cover with ESPRESSO-MV and collect the
     non-trivial present-state groups, merging duplicates. Groups of
     cardinality < 2 or covering all states are trivially satisfiable and
     are dropped. *)
-val of_symbolic : Symbolic.t -> input_constraint list
+val of_symbolic : ?budget:Budget.t -> Symbolic.t -> input_constraint list
 
 (** [of_cover sym cover] extracts the weighted input constraints of an
     already-minimized symbolic [cover]. *)

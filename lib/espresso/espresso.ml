@@ -15,6 +15,14 @@ let c_minimize_calls = Instrument.counter "espresso.minimize_calls"
 
 let off_set ~on ~dc = Instrument.time t_offset (fun () -> Cover.complement (Cover.union on dc))
 
+(* Budget plumbing: [None] (the default) compiles to the historical
+   unbudgeted behavior; with a budget, every per-cube step of
+   expand/irredundant/reduce pre-checks it, so a deadline interrupts the
+   minimizer between cube operations and the loop returns the best valid
+   cover found so far. *)
+let drained = function None -> false | Some b -> Budget.exhausted b
+let charge = function None -> () | Some b -> ignore (Budget.tick b)
+
 (* A cube may be raised at bit [i] iff the raised cube still intersects no
    off-set cube. Intersection with the off-set is the only validity
    criterion since the off-set is explicit. *)
@@ -54,7 +62,7 @@ let expand_cube dom c ~off ~companions =
   done;
   cur
 
-let expand (cover : Cover.t) ~(off : Cover.t) =
+let expand ?budget (cover : Cover.t) ~(off : Cover.t) =
   Instrument.time t_expand @@ fun () ->
   let dom = cover.Cover.dom in
   (* Fewest-literal (largest) cubes first: their expansions swallow the
@@ -65,15 +73,20 @@ let expand (cover : Cover.t) ~(off : Cover.t) =
   let rec loop acc = function
     | [] -> List.rev acc
     | c :: rest ->
-        if List.exists (fun e -> Cube.contains e c) acc then loop acc rest
-        else
+        (* Out of budget: the remaining cubes stay unexpanded — still a
+           valid cover of the same function, just not prime. *)
+        if drained budget then List.rev_append acc (c :: rest)
+        else if List.exists (fun e -> Cube.contains e c) acc then loop acc rest
+        else begin
+          charge budget;
           let e = expand_cube dom c ~off:off.Cover.cubes ~companions:rest in
           let rest = List.filter (fun r -> not (Cube.contains e r)) rest in
           loop (e :: acc) rest
+        end
   in
   Cover.make dom (loop [] ordered)
 
-let irredundant (cover : Cover.t) ~(dc : Cover.t) =
+let irredundant ?budget (cover : Cover.t) ~(dc : Cover.t) =
   Instrument.time t_irredundant @@ fun () ->
   let dom = cover.Cover.dom in
   (* Try to remove big cubes last: small, specific cubes are more likely
@@ -87,11 +100,18 @@ let irredundant (cover : Cover.t) ~(dc : Cover.t) =
   in
   let rec loop kept = function
     | [] -> List.rev kept
-    | c :: pending -> if redundant kept pending c then loop kept pending else loop (c :: kept) pending
+    | c :: pending ->
+        (* Out of budget: keep the rest — possibly redundant, still a
+           cover. *)
+        if drained budget then List.rev_append kept (c :: pending)
+        else begin
+          charge budget;
+          if redundant kept pending c then loop kept pending else loop (c :: kept) pending
+        end
   in
   Cover.make dom (loop [] ordered)
 
-let reduce (cover : Cover.t) ~(dc : Cover.t) =
+let reduce ?budget (cover : Cover.t) ~(dc : Cover.t) =
   Instrument.time t_reduce @@ fun () ->
   let dom = cover.Cover.dom in
   (* Largest cubes first, per ESPRESSO: reducing big cubes frees room for
@@ -102,40 +122,53 @@ let reduce (cover : Cover.t) ~(dc : Cover.t) =
   let rec loop done_ = function
     | [] -> List.rev done_
     | c :: pending ->
-        let rest = Cover.make dom (done_ @ pending @ dc.Cover.cubes) in
-        let unique = Cover.complement_within rest ~space:c in
-        (match Cover.supercube unique with
-        | None -> loop done_ pending (* fully covered elsewhere: drop *)
-        | Some sc -> loop (sc :: done_) pending)
+        (* Out of budget: the remaining cubes stay unreduced (each
+           reduction is independently sound, so a partial pass is too). *)
+        if drained budget then List.rev_append done_ (c :: pending)
+        else begin
+          charge budget;
+          let rest = Cover.make dom (done_ @ pending @ dc.Cover.cubes) in
+          let unique = Cover.complement_within rest ~space:c in
+          match Cover.supercube unique with
+          | None -> loop done_ pending (* fully covered elsewhere: drop *)
+          | Some sc -> loop (sc :: done_) pending
+        end
   in
   Cover.make dom (loop [] ordered)
 
-let essential_primes (cover : Cover.t) ~(dc : Cover.t) =
+let essential_primes ?budget (cover : Cover.t) ~(dc : Cover.t) =
   Instrument.time t_essential @@ fun () ->
   let dom = cover.Cover.dom in
   let essential c =
+    (* Out of budget: treat the rest as non-essential (the set-aside is
+       an optimization, not needed for correctness). *)
+    (not (drained budget))
+    &&
     let rest =
       Cover.make dom
         (dc.Cover.cubes @ List.filter (fun d -> not (Cube.equal d c)) cover.Cover.cubes)
     in
+    charge budget;
     not (Cover.covers_cube rest c)
   in
   Cover.make dom (List.filter essential cover.Cover.cubes)
 
 let cost (c : Cover.t) = (Cover.size c, Cover.literal_cost c)
 
-let minimize_with_off ~(on : Cover.t) ~(dc : Cover.t) ~(off : Cover.t) =
+let minimize_with_off ?budget ~(dc : Cover.t) ~(off : Cover.t) (on : Cover.t) =
   Instrument.bump c_minimize_calls;
   Instrument.time t_minimize @@ fun () ->
   let dom = on.Cover.dom in
   let f = Cover.single_cube_containment on in
-  if f.Cover.cubes = [] then f
+  if f.Cover.cubes = [] || drained budget then f
+    (* An exhausted budget degrades to single-cube containment of the
+       on-set: always a valid cover, computed in linear passes. *)
   else begin
-    let f = expand f ~off in
-    let f = irredundant f ~dc in
+    let f = expand ?budget f ~off in
+    let f = irredundant ?budget f ~dc in
     (* Set the essential primes aside: they are in every solution, so the
        iteration only has to improve the rest. *)
-    let ess = essential_primes f ~dc in
+    let ess = essential_primes ?budget f ~dc in
     let f =
       Cover.make dom
         (List.filter (fun c -> not (List.exists (Cube.equal c) ess.Cover.cubes)) f.Cover.cubes)
@@ -147,14 +180,17 @@ let minimize_with_off ~(on : Cover.t) ~(dc : Cover.t) ~(off : Cover.t) =
     let best_cost = ref (cost f) in
     let continue_ = ref true in
     let iterations = ref 0 in
-    while !continue_ && !iterations < 12 && !best.Cover.cubes <> [] do
+    while !continue_ && !iterations < 12 && !best.Cover.cubes <> [] && not (drained budget) do
       incr iterations;
       Instrument.bump c_reduce_iterations;
-      let f = reduce !best ~dc in
-      let f = expand f ~off in
-      let f = irredundant f ~dc in
+      let f = reduce ?budget !best ~dc in
+      let f = expand ?budget f ~off in
+      let f = irredundant ?budget f ~dc in
       let fc = cost f in
-      if fc < !best_cost then begin
+      (* A budget-truncated pass can leave reduced (non-prime) cubes in
+         [f]; the incumbent only ever moves to a cheaper full pass, so
+         [best] stays a valid cover either way. *)
+      if fc < !best_cost && not (drained budget) then begin
         best := f;
         best_cost := fc
       end
@@ -163,7 +199,7 @@ let minimize_with_off ~(on : Cover.t) ~(dc : Cover.t) ~(off : Cover.t) =
     Cover.single_cube_containment (Cover.union ess !best)
   end
 
-let minimize ~on ~dc = minimize_with_off ~on ~dc ~off:(off_set ~on ~dc)
+let minimize ?budget ~dc on = minimize_with_off ?budget ~dc ~off:(off_set ~on ~dc) on
 
 (* --- Care-set driven variant ------------------------------------------ *)
 
@@ -171,7 +207,7 @@ let minimize ~on ~dc = minimize_with_off ~on ~dc ~off:(off_set ~on ~dc)
    from off) is redundant iff the rest covers c ∩ on; and its reduction
    keeps only the part of c ∩ on the rest misses. *)
 
-let irredundant_care (cover : Cover.t) ~(care : Cover.t) =
+let irredundant_care ?budget (cover : Cover.t) ~(care : Cover.t) =
   let dom = cover.Cover.dom in
   let ordered =
     List.sort (fun a b -> compare (Cube.num_minterms dom a) (Cube.num_minterms dom b)) cover.Cover.cubes
@@ -179,14 +215,19 @@ let irredundant_care (cover : Cover.t) ~(care : Cover.t) =
   let rec loop kept = function
     | [] -> List.rev kept
     | c :: pending ->
-        let rest = Cover.make dom (kept @ pending) in
-        let needed = Cover.intersect (Cover.make dom [ c ]) care in
-        if List.for_all (fun d -> Cover.covers_cube rest d) needed.Cover.cubes then loop kept pending
-        else loop (c :: kept) pending
+        if drained budget then List.rev_append kept (c :: pending)
+        else begin
+          charge budget;
+          let rest = Cover.make dom (kept @ pending) in
+          let needed = Cover.intersect (Cover.make dom [ c ]) care in
+          if List.for_all (fun d -> Cover.covers_cube rest d) needed.Cover.cubes then
+            loop kept pending
+          else loop (c :: kept) pending
+        end
   in
   Cover.make dom (loop [] ordered)
 
-let reduce_care (cover : Cover.t) ~(care : Cover.t) =
+let reduce_care ?budget (cover : Cover.t) ~(care : Cover.t) =
   let dom = cover.Cover.dom in
   let ordered =
     List.sort (fun a b -> compare (Cube.num_minterms dom b) (Cube.num_minterms dom a)) cover.Cover.cubes
@@ -194,39 +235,43 @@ let reduce_care (cover : Cover.t) ~(care : Cover.t) =
   let rec loop done_ = function
     | [] -> List.rev done_
     | c :: pending ->
-        let rest = Cover.make dom (done_ @ pending) in
-        let needed = Cover.intersect (Cover.make dom [ c ]) care in
-        let unique =
-          List.concat_map
-            (fun d -> (Cover.complement_within rest ~space:d).Cover.cubes)
-            needed.Cover.cubes
-        in
-        (match Cover.supercube (Cover.make dom unique) with
-        | None -> loop done_ pending
-        | Some sc -> loop (sc :: done_) pending)
+        if drained budget then List.rev_append done_ (c :: pending)
+        else begin
+          charge budget;
+          let rest = Cover.make dom (done_ @ pending) in
+          let needed = Cover.intersect (Cover.make dom [ c ]) care in
+          let unique =
+            List.concat_map
+              (fun d -> (Cover.complement_within rest ~space:d).Cover.cubes)
+              needed.Cover.cubes
+          in
+          match Cover.supercube (Cover.make dom unique) with
+          | None -> loop done_ pending
+          | Some sc -> loop (sc :: done_) pending
+        end
   in
   Cover.make dom (loop [] ordered)
 
-let minimize_care ~(on : Cover.t) ~(off : Cover.t) =
+let minimize_care ?budget ~(off : Cover.t) (on : Cover.t) =
   Instrument.bump c_minimize_calls;
   Instrument.time t_minimize @@ fun () ->
   let f = Cover.single_cube_containment on in
-  if f.Cover.cubes = [] then f
+  if f.Cover.cubes = [] || drained budget then f
   else begin
-    let f = expand f ~off in
-    let f = irredundant_care f ~care:on in
+    let f = expand ?budget f ~off in
+    let f = irredundant_care ?budget f ~care:on in
     let best = ref f in
     let best_cost = ref (cost f) in
     let continue_ = ref true in
     let iterations = ref 0 in
-    while !continue_ && !iterations < 12 do
+    while !continue_ && !iterations < 12 && not (drained budget) do
       incr iterations;
       Instrument.bump c_reduce_iterations;
-      let f = reduce_care !best ~care:on in
-      let f = expand f ~off in
-      let f = irredundant_care f ~care:on in
+      let f = reduce_care ?budget !best ~care:on in
+      let f = expand ?budget f ~off in
+      let f = irredundant_care ?budget f ~care:on in
       let fc = cost f in
-      if fc < !best_cost then begin
+      if fc < !best_cost && not (drained budget) then begin
         best := f;
         best_cost := fc
       end

@@ -18,36 +18,42 @@ val off_set : on:Cover.t -> dc:Cover.t -> Cover.t
     and removes cubes covered by the expansion of another, returning a
     prime cover of the same function (assuming [cover] was disjoint from
     [off]). *)
-val expand : Cover.t -> off:Cover.t -> Cover.t
+val expand : ?budget:Budget.t -> Cover.t -> off:Cover.t -> Cover.t
 
 (** [irredundant cover ~dc] greedily removes cubes covered by the rest of
     the cover plus the don't-care set. *)
-val irredundant : Cover.t -> dc:Cover.t -> Cover.t
+val irredundant : ?budget:Budget.t -> Cover.t -> dc:Cover.t -> Cover.t
 
 (** [reduce cover ~dc] replaces each cube by the smallest cube covering
     the minterms no other cube (nor [dc]) covers, dropping cubes that
     become empty. *)
-val reduce : Cover.t -> dc:Cover.t -> Cover.t
+val reduce : ?budget:Budget.t -> Cover.t -> dc:Cover.t -> Cover.t
 
 (** [essential_primes cover ~dc] returns the cubes of [cover] covering
     some minterm no other cube (nor [dc]) covers. Essential primes belong
     to every prime irredundant cover, so the minimization loop can set
     them aside (classic ESPRESSO ESSENTIAL_PRIMES step). *)
-val essential_primes : Cover.t -> dc:Cover.t -> Cover.t
+val essential_primes : ?budget:Budget.t -> Cover.t -> dc:Cover.t -> Cover.t
 
-(** [minimize ~on ~dc] is a minimal cover [g] with
-    [on <= g <= on OR dc] (set inclusion of the functions). *)
-val minimize : on:Cover.t -> dc:Cover.t -> Cover.t
+(** [minimize ~dc on] is a minimal cover [g] with
+    [on <= g <= on OR dc] (set inclusion of the functions). With
+    [budget], every per-cube step of the expand/irredundant/reduce loop
+    pre-checks it: an exhausted budget (work cap, wall-clock deadline or
+    cancellation) interrupts the iteration and the best valid cover found
+    so far is returned — degrading, at the limit, to single-cube
+    containment of the on-set. *)
+val minimize : ?budget:Budget.t -> dc:Cover.t -> Cover.t -> Cover.t
 
-(** [minimize_with_off ~on ~dc ~off] is [minimize] with a precomputed
+(** [minimize_with_off ~dc ~off on] is [minimize] with a precomputed
     off-set (must equal the complement of [on OR dc] on pain of an
     incorrect result). *)
-val minimize_with_off : on:Cover.t -> dc:Cover.t -> off:Cover.t -> Cover.t
+val minimize_with_off :
+  ?budget:Budget.t -> dc:Cover.t -> off:Cover.t -> Cover.t -> Cover.t
 
-(** [minimize_care ~on ~off] minimizes when only the on-set and off-set
+(** [minimize_care ~off on] minimizes when only the on-set and off-set
     are explicit and the don't-care set is implicitly everything else:
     the result covers [on], avoids [off], and may use any other minterm.
     Avoids computing the (possibly huge) complement of [on OR off] — the
     work-horse of the per-next-state minimizations inside symbolic
     minimization (Section 6.1). *)
-val minimize_care : on:Cover.t -> off:Cover.t -> Cover.t
+val minimize_care : ?budget:Budget.t -> off:Cover.t -> Cover.t -> Cover.t

@@ -81,7 +81,7 @@ let build (m : Fsm.t) (e : Encoding.t) =
   let dc = Cover.union (Cover.make dom (List.rev !dc)) unspecified in
   { machine = m; encoding = e; dom; on; dc }
 
-let minimize t = Espresso.minimize ~on:t.on ~dc:t.dc
+let minimize ?budget t = Espresso.minimize ?budget ~dc:t.dc t.on
 
 let area ~machine ~encoding ~num_cubes =
   let ni = machine.Fsm.num_inputs and no = machine.Fsm.num_outputs in
@@ -90,9 +90,9 @@ let area ~machine ~encoding ~num_cubes =
 
 type result = { cover : Cover.t; num_cubes : int; area : int }
 
-let implement m e =
+let implement ?budget m e =
   let t = build m e in
-  let cover = minimize t in
+  let cover = minimize ?budget t in
   let num_cubes = Cover.size cover in
   { cover; num_cubes; area = area ~machine:m ~encoding:e ~num_cubes }
 

@@ -23,8 +23,10 @@ type t = {
     output entries. *)
 val build : Fsm.t -> Encoding.t -> t
 
-(** [minimize t] is the ESPRESSO-minimized encoded cover. *)
-val minimize : t -> Cover.t
+(** [minimize t] is the ESPRESSO-minimized encoded cover. An exhausted
+    [budget] interrupts the minimizer, which degrades to a less-minimized
+    (but still correct) cover — see {!Espresso.minimize}. *)
+val minimize : ?budget:Budget.t -> t -> Cover.t
 
 (** [area ~machine ~encoding ~num_cubes] is the paper's PLA area model. *)
 val area : machine:Fsm.t -> encoding:Encoding.t -> num_cubes:int -> int
@@ -32,7 +34,7 @@ val area : machine:Fsm.t -> encoding:Encoding.t -> num_cubes:int -> int
 type result = { cover : Cover.t; num_cubes : int; area : int }
 
 (** [implement m e] is [build] + [minimize] + the area figures. *)
-val implement : Fsm.t -> Encoding.t -> result
+val implement : ?budget:Budget.t -> Fsm.t -> Encoding.t -> result
 
 (** [eval t cover ~input ~code] evaluates the minimized [cover] at the
     fully specified [input] pattern and present-state [code], returning

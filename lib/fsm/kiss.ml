@@ -1,13 +1,28 @@
-exception Parse_error of string
+type error = { file : string; line : int; col : int; msg : string }
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+exception Parse_error of error
+
+let error_to_string e =
+  Printf.sprintf "%s:%d:%d: %s" e.file e.line e.col e.msg
 
 let split_words line =
   String.split_on_char ' ' line
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun w -> w <> "")
 
-let parse ~name text =
+(* 1-based column of the first occurrence of word [w] in [raw]; 0 when
+   it cannot be located (after comment stripping, say). *)
+let col_of raw w =
+  let lw = String.length w and lr = String.length raw in
+  let rec go i =
+    if i + lw > lr then 0 else if String.sub raw i lw = w then i + 1 else go (i + 1)
+  in
+  if lw = 0 then 0 else go 0
+
+let parse ~name ?(file = "<input>") text =
+  let fail ?(line = 0) ?(col = 0) fmt =
+    Printf.ksprintf (fun msg -> raise (Parse_error { file; line; col; msg })) fmt
+  in
   let lines = String.split_on_char '\n' text in
   let num_inputs = ref None
   and num_outputs = ref None
@@ -26,29 +41,45 @@ let parse ~name text =
         states := s :: !states;
         i
   in
-  let parse_int what w =
-    match int_of_string_opt w with Some i -> i | None -> fail "bad %s count %S" what w
-  in
-  List.iter
-    (fun raw ->
+  List.iteri
+    (fun i raw ->
+      let line_no = i + 1 in
       let line =
         match String.index_opt raw '#' with
         | Some i -> String.sub raw 0 i
         | None -> raw
       in
+      let fail_at ?word fmt =
+        let col = match word with Some w -> col_of raw w | None -> 1 in
+        fail ~line:line_no ~col fmt
+      in
+      let parse_int what w =
+        match int_of_string_opt w with
+        | Some i -> i
+        | None -> fail_at ~word:w "bad %s count %S" what w
+      in
       match split_words line with
       | [] -> ()
+      | [ ((".i" | ".o" | ".p" | ".s" | ".r") as d) ] ->
+          fail_at ~word:d "truncated %s directive: missing its argument" d
       | ".i" :: w :: _ -> num_inputs := Some (parse_int "input" w)
       | ".o" :: w :: _ -> num_outputs := Some (parse_int "output" w)
       | ".p" :: w :: _ -> declared_products := Some (parse_int "product" w)
       | ".s" :: w :: _ -> declared_states := Some (parse_int "state" w)
-      | ".r" :: w :: _ -> reset_name := Some w
+      | ".r" :: w :: _ -> (
+          match !reset_name with
+          | Some prev ->
+              fail_at ~word:w "duplicate .r declaration (reset state already %S)" prev
+          | None -> reset_name := Some w)
       | ".e" :: _ | ".end" :: _ -> ()
       | [ input; present; next; output ] ->
           let src = if present = "*" then None else Some (intern present) in
           let dst = if next = "-" then None else Some (intern next) in
           rows := { Fsm.input; src; dst; output } :: !rows
-      | ws -> fail "unparseable line %S" (String.concat " " ws))
+      | ws ->
+          fail_at ~word:(List.hd ws)
+            "expected 4 fields (input present-state next-state output), got %d in %S"
+            (List.length ws) (String.concat " " ws))
     lines;
   let num_inputs =
     match !num_inputs with Some i -> i | None -> fail "missing .i declaration"
@@ -80,6 +111,11 @@ let parse ~name text =
     | Some r -> Fsm.create ~name ~num_inputs ~num_outputs ~states ~transitions:rows ~reset:r ()
     | None -> Fsm.create ~name ~num_inputs ~num_outputs ~states ~transitions:rows ()
   with Invalid_argument msg -> fail "%s" msg
+
+let parse_result ~name ?file text =
+  match parse ~name ?file text with
+  | m -> Ok m
+  | exception Parse_error e -> Error e
 
 let print ppf (m : Fsm.t) =
   Format.fprintf ppf ".i %d@." m.Fsm.num_inputs;

@@ -86,7 +86,7 @@ let of_fsm (m : Fsm.t) =
   let dc = Cover.union (Cover.make dom (List.rev !dc)) unspecified in
   { machine = m; dom; on; dc; state_var; output_var }
 
-let minimize t = Espresso.minimize ~on:t.on ~dc:t.dc
+let minimize ?budget t = Espresso.minimize ?budget ~dc:t.dc t.on
 
 let present_states t c =
   let ns = num_states t in

@@ -33,8 +33,10 @@ val next_state_part : t -> int -> int
 (** [output_part t j] is the output-variable part of binary output [j]. *)
 val output_part : t -> int -> int
 
-(** [minimize t] is the ESPRESSO-MV minimized symbolic cover. *)
-val minimize : t -> Cover.t
+(** [minimize t] is the ESPRESSO-MV minimized symbolic cover. An
+    exhausted [budget] interrupts the minimizer, which degrades to a
+    less-minimized (but still correct) cover — see {!Espresso.minimize}. *)
+val minimize : ?budget:Budget.t -> t -> Cover.t
 
 (** [present_states t c] is the set of present states asserted by cube
     [c], as a bit vector over the states. *)

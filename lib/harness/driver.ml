@@ -1,6 +1,8 @@
 (* Instrumentation probes: no-ops unless Instrument.enable (). *)
 let t_encode = Instrument.timer "driver.encode"
 let t_implement = Instrument.timer "driver.implement"
+let t_constraints = Instrument.timer "pipeline.constraints"
+let t_symbolic_min = Instrument.timer "pipeline.symbolic-min"
 
 type algorithm =
   | Ihybrid
@@ -34,32 +36,200 @@ let all_algorithms =
     One_hot; Random 0;
   ]
 
-let encode ?bits (m : Fsm.t) algo =
-  Instrument.time t_encode @@ fun () ->
-  let n = Fsm.num_states ~m in
-  let ics () = Constraints.of_symbolic (Symbolic.of_fsm m) in
-  let problem () = (Symbmin.run (Symbolic.of_fsm m)).Symbmin.problem in
-  match algo with
-  | Ihybrid -> (Ihybrid.ihybrid_code ~num_states:n ?nbits:bits (ics ())).Ihybrid.encoding
-  | Igreedy -> (Igreedy.igreedy_code ~num_states:n ?nbits:bits (ics ())).Igreedy.encoding
-  | Iohybrid -> (Iohybrid.iohybrid_code ?nbits:bits (problem ())).Iohybrid.encoding
-  | Iovariant -> (Iohybrid.iovariant_code ?nbits:bits (problem ())).Iohybrid.encoding
-  | Iexact -> (
-      let groups =
-        List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) (ics ())
-      in
-      match Iexact.iexact_code ~num_states:n groups with
-      | Iexact.Sat { k; codes; _ } -> Encoding.make ~nbits:k codes
-      | Iexact.Exhausted -> failwith "iexact: work budget exhausted")
-  | Kiss -> Baselines.kiss_encode ~num_states:n (ics ())
-  | Mustang (flavor, include_outputs) ->
-      let nbits = Option.value bits ~default:(Fsm.min_code_length m) in
-      Baselines.mustang_encode m ~flavor ~include_outputs ~nbits
-  | One_hot -> Encoding.one_hot n
-  | Random seed ->
-      let nbits = Option.value bits ~default:(Fsm.min_code_length m) in
-      Encoding.random (Random.State.make [| seed |]) ~num_states:n ~nbits
+type rung =
+  | Rung_iexact
+  | Rung_semiexact
+  | Rung_project
+  | Rung_ihybrid
+  | Rung_igreedy
+  | Rung_iohybrid
+  | Rung_iovariant
+  | Rung_kiss
+  | Rung_mustang
+  | Rung_one_hot
+  | Rung_random
 
-let report ?bits m algo =
-  let e = encode ?bits m algo in
-  (e, Instrument.time t_implement (fun () -> Encoded.implement m e))
+let rung_name = function
+  | Rung_iexact -> "iexact"
+  | Rung_semiexact -> "semiexact"
+  | Rung_project -> "project"
+  | Rung_ihybrid -> "ihybrid"
+  | Rung_igreedy -> "igreedy"
+  | Rung_iohybrid -> "iohybrid"
+  | Rung_iovariant -> "iovariant"
+  | Rung_kiss -> "kiss"
+  | Rung_mustang -> "mustang"
+  | Rung_one_hot -> "onehot"
+  | Rung_random -> "random"
+
+let stage_of = function
+  | Rung_iexact -> Nova_error.Iexact
+  | Rung_semiexact -> Nova_error.Semiexact
+  | Rung_project -> Nova_error.Project
+  | Rung_ihybrid -> Nova_error.Ihybrid
+  | Rung_igreedy -> Nova_error.Igreedy
+  | Rung_iohybrid -> Nova_error.Iohybrid
+  | Rung_iovariant -> Nova_error.Iovariant
+  | Rung_kiss | Rung_mustang | Rung_one_hot | Rung_random -> Nova_error.Baseline
+
+(* The fallback ladder of each algorithm: progressively cheaper rungs
+   of the same family. [igreedy] never fails, so every constraint-driven
+   ladder terminates; the baselines cannot run out of budget at all. *)
+let ladder ~fallback algo =
+  let rungs =
+    match algo with
+    | Iexact -> [ Rung_iexact; Rung_semiexact; Rung_project; Rung_igreedy ]
+    | Ihybrid -> [ Rung_ihybrid; Rung_igreedy ]
+    | Igreedy -> [ Rung_igreedy ]
+    | Iohybrid -> [ Rung_iohybrid; Rung_ihybrid; Rung_igreedy ]
+    | Iovariant -> [ Rung_iovariant; Rung_ihybrid; Rung_igreedy ]
+    | Kiss -> [ Rung_kiss ]
+    | Mustang _ -> [ Rung_mustang ]
+    | One_hot -> [ Rung_one_hot ]
+    | Random _ -> [ Rung_random ]
+  in
+  if fallback then rungs else [ List.hd rungs ]
+
+type outcome = {
+  encoding : Encoding.t;
+  algorithm : algorithm;
+  produced_by : rung;
+  degradations : (rung * Nova_error.t) list;
+}
+
+let why budget = Option.value (Budget.reason budget) ~default:Budget.Work
+
+let groups_of ics =
+  List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) ics
+
+(* The [project] rung: last resort of the iexact ladder. Start from the
+   identity encoding at the minimum length and project into extra
+   dimensions (Prop 4.2.1) until every constraint is satisfied. Each
+   projection satisfies at least one more constraint, so the loop
+   terminates; the 60-bit cap guards against degenerate constraint
+   sets. *)
+let project_rung ~budget ~num_states ics =
+  let min_len = Ihybrid.min_code_length num_states in
+  let nbits = ref min_len in
+  let codes = ref (Array.init num_states (fun i -> i)) in
+  let encoding () = Encoding.make ~nbits:!nbits !codes in
+  let sic0, ric0 =
+    List.partition
+      (fun (ic : Constraints.input_constraint) ->
+        Constraints.satisfied (encoding ()) ic.Constraints.states)
+      ics
+  in
+  let sic = ref sic0 and ric = ref ric0 in
+  while !ric <> [] && !nbits < 60 && not (Budget.exhausted budget) do
+    let codes', newly, still = Project.project ~codes:!codes ~nbits:!nbits ~sic:!sic ~ric:!ric in
+    codes := codes';
+    sic := newly @ !sic;
+    ric := still;
+    incr nbits
+  done;
+  if !ric = [] then Ok (encoding ())
+  else if Budget.exhausted budget then
+    Error (Nova_error.Budget_exhausted { stage = Nova_error.Project; reason = why budget })
+  else
+    Error
+      (Nova_error.Infeasible
+         {
+           stage = Nova_error.Project;
+           msg =
+             Printf.sprintf "%d constraints still unsatisfied at the 60-bit cap"
+               (List.length !ric);
+         })
+
+let run_rung ~budget ~bits ~num_states ~ics ~problem (m : Fsm.t) algo rung =
+  let stage = stage_of rung in
+  let exhausted reason = Error (Nova_error.Budget_exhausted { stage; reason }) in
+  try
+    match rung with
+    | Rung_iexact -> (
+        match Iexact.iexact_code ~num_states ~budget (groups_of (Lazy.force ics)) with
+        | Iexact.Sat { k; codes; _ } -> Ok (Encoding.make ~nbits:k codes)
+        | Iexact.Exhausted -> exhausted (why budget))
+    | Rung_semiexact -> (
+        let k = max (Fsm.min_code_length m) (Option.value bits ~default:0) in
+        match Iexact.semiexact_code ~num_states ~k ~budget (groups_of (Lazy.force ics)) with
+        | Some codes -> Ok (Encoding.make ~nbits:k codes)
+        | None ->
+            if Budget.exhausted budget then exhausted (why budget)
+            else
+              Error
+                (Nova_error.Infeasible
+                   {
+                     stage;
+                     msg =
+                       Printf.sprintf "no embedding at %d bits within the bounded backtracking" k;
+                   }))
+    | Rung_project -> project_rung ~budget ~num_states (Lazy.force ics)
+    | Rung_ihybrid ->
+        let r = Ihybrid.ihybrid_code ~num_states ?nbits:bits ~budget (Lazy.force ics) in
+        if r.Ihybrid.random_start && Budget.exhausted budget then exhausted (why budget)
+        else Ok r.Ihybrid.encoding
+    | Rung_igreedy ->
+        Ok (Igreedy.igreedy_code ~num_states ?nbits:bits ~budget (Lazy.force ics)).Igreedy.encoding
+    | Rung_iohybrid | Rung_iovariant ->
+        let code = if rung = Rung_iohybrid then Iohybrid.iohybrid_code else Iohybrid.iovariant_code in
+        let r = code ?nbits:bits ~budget (Lazy.force problem) in
+        if r.Iohybrid.random_start && Budget.exhausted budget then exhausted (why budget)
+        else Ok r.Iohybrid.encoding
+    | Rung_kiss -> Ok (Baselines.kiss_encode ~num_states (Lazy.force ics))
+    | Rung_mustang ->
+        let flavor, include_outputs =
+          match algo with Mustang (f, o) -> (f, o) | _ -> (Baselines.Fanout, true)
+        in
+        let nbits = Option.value bits ~default:(Fsm.min_code_length m) in
+        Ok (Baselines.mustang_encode m ~flavor ~include_outputs ~nbits)
+    | Rung_one_hot -> Ok (Encoding.one_hot num_states)
+    | Rung_random ->
+        let seed = match algo with Random s -> s | _ -> 0 in
+        let nbits = Option.value bits ~default:(Fsm.min_code_length m) in
+        Ok (Encoding.random (Random.State.make [| seed |]) ~num_states ~nbits)
+  with
+  | Invalid_argument msg -> Error (Nova_error.Infeasible { stage; msg })
+  | Budget.Out_of_budget reason -> Error (Nova_error.Budget_exhausted { stage; reason })
+
+let encode ?bits ?(budget = Budget.unlimited) ?(fallback = true) (m : Fsm.t) algo =
+  Instrument.time t_encode @@ fun () ->
+  let num_states = Fsm.num_states ~m in
+  (* Shared upstream artifacts, computed at most once per call whatever
+     rung (or rungs) the ladder visits. *)
+  let sym = lazy (Symbolic.of_fsm m) in
+  let ics =
+    lazy (Instrument.time t_constraints (fun () -> Constraints.of_symbolic ~budget (Lazy.force sym)))
+  in
+  let problem =
+    lazy
+      (Instrument.time t_symbolic_min (fun () ->
+           (Symbmin.run ~budget (Lazy.force sym)).Symbmin.problem))
+  in
+  let rec descend degraded = function
+    | [] -> (
+        (* Every rung failed (only possible without the igreedy terminal
+           rung, i.e. with [fallback = false]): report the primary
+           algorithm's own failure. *)
+        match List.rev degraded with
+        | (_, first_error) :: _ -> Error first_error
+        | [] -> Error (Nova_error.Invalid_request "empty fallback ladder"))
+    | rung :: rest -> (
+        let timer = Instrument.timer ("pipeline.rung." ^ rung_name rung) in
+        match
+          Instrument.time timer (fun () ->
+              run_rung ~budget ~bits ~num_states ~ics ~problem m algo rung)
+        with
+        | Ok encoding ->
+            Ok { encoding; algorithm = algo; produced_by = rung; degradations = List.rev degraded }
+        | Error err -> descend ((rung, err) :: degraded) rest)
+  in
+  descend [] (ladder ~fallback algo)
+
+let report ?bits ?budget ?fallback m algo =
+  match encode ?bits ?budget ?fallback m algo with
+  | Error err -> Error err
+  | Ok outcome ->
+      let impl =
+        Instrument.time t_implement (fun () -> Encoded.implement ?budget m outcome.encoding)
+      in
+      Ok (outcome, impl)

@@ -1,6 +1,7 @@
 (** One-call driver: run any of the paper's encoding algorithms (or a
-    baseline) on a machine. This is the programmatic face of
-    [nova encode]. *)
+    baseline) on a machine, under a unified {!Budget.t} and with a
+    graceful-degradation fallback ladder. This is the programmatic face
+    of [nova encode]. *)
 
 type algorithm =
   | Ihybrid
@@ -20,11 +21,72 @@ val name : algorithm -> string
     sensible reporting order. *)
 val all_algorithms : algorithm list
 
-(** [encode ?bits machine algo] runs the algorithm. [bits] overrides the
-    code length where the algorithm accepts one. Raises [Failure] when
-    [Iexact] exhausts its budget. *)
-val encode : ?bits:int -> Fsm.t -> algorithm -> Encoding.t
+(** A rung of the fallback ladder: the concrete encoder that produced
+    (or failed to produce) an encoding. Each algorithm degrades through
+    progressively cheaper rungs of its family:
+    - [Iexact]: iexact → semiexact → project → igreedy
+    - [Ihybrid]: ihybrid → igreedy
+    - [Iohybrid]/[Iovariant]: iohybrid/iovariant → ihybrid → igreedy
+    - everything else is its own single rung.
 
-(** [report ?bits machine algo] is [encode] plus the minimized
-    implementation. *)
-val report : ?bits:int -> Fsm.t -> algorithm -> Encoding.t * Encoded.result
+    [igreedy] never fails (an exhausted budget degrades it to sequential
+    codes), so with fallback enabled the constraint-driven ladders always
+    produce an encoding. *)
+type rung =
+  | Rung_iexact
+  | Rung_semiexact
+  | Rung_project
+  | Rung_ihybrid
+  | Rung_igreedy
+  | Rung_iohybrid
+  | Rung_iovariant
+  | Rung_kiss
+  | Rung_mustang
+  | Rung_one_hot
+  | Rung_random
+
+val rung_name : rung -> string
+
+(** [ladder ~fallback algo] is the rung sequence [encode] tries, in
+    order; with [fallback = false], just the first rung. *)
+val ladder : fallback:bool -> algorithm -> rung list
+
+type outcome = {
+  encoding : Encoding.t;
+  algorithm : algorithm;  (** the algorithm that was requested *)
+  produced_by : rung;  (** the rung that actually produced [encoding] *)
+  degradations : (rung * Nova_error.t) list;
+      (** rungs tried before [produced_by], in order, each with why it
+          failed; empty when the primary rung succeeded *)
+}
+
+(** [encode ?bits ?budget ?fallback machine algo] runs the algorithm.
+    [bits] overrides the code length where the algorithm accepts one.
+    [budget] (default {!Budget.unlimited}) bounds the whole call — work,
+    wall-clock deadline and cancellation included; under an unlimited
+    budget the encodings are identical to the pre-pipeline driver's.
+    [fallback] (default [true]) enables the degradation ladder; with
+    [~fallback:false] a failing primary rung is reported as an error
+    instead — e.g. [Iexact] out of budget returns
+    [Error (Budget_exhausted { stage = Iexact; _ })] rather than falling
+    through to [semiexact]. No exception escapes: failures are
+    [Nova_error.t] values. *)
+val encode :
+  ?bits:int ->
+  ?budget:Budget.t ->
+  ?fallback:bool ->
+  Fsm.t ->
+  algorithm ->
+  (outcome, Nova_error.t) result
+
+(** [report ?bits ?budget ?fallback machine algo] is [encode] plus the
+    minimized implementation (the final ESPRESSO run also draws on
+    [budget] — an exhausted budget yields a valid but less-minimized
+    cover). *)
+val report :
+  ?bits:int ->
+  ?budget:Budget.t ->
+  ?fallback:bool ->
+  Fsm.t ->
+  algorithm ->
+  (outcome * Encoded.result, Nova_error.t) result

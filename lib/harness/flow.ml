@@ -1,17 +1,16 @@
 type t = {
   name : string;
   machine : Fsm.t;
-  sym : Symbolic.t Lazy.t;
-  ics : Constraints.input_constraint list Lazy.t;
-  symbolic_min : Symbmin.t Lazy.t;
-  ihybrid : Ihybrid.result Lazy.t;
-  ihybrid_time : float ref;
-  igreedy : Igreedy.result Lazy.t;
-  iohybrid : Iohybrid.result Lazy.t;
-  iexact : Iexact.outcome Lazy.t;
-  kiss : Encoding.t Lazy.t;
-  one_hot : Encoding.t Lazy.t;
-  randoms : Encoding.t list Lazy.t;
+  sym : Symbolic.t Stage.t;
+  ics : Constraints.input_constraint list Stage.t;
+  symbolic_min : Symbmin.t Stage.t;
+  ihybrid : Ihybrid.result Stage.t;
+  igreedy : Igreedy.result Stage.t;
+  iohybrid : Iohybrid.result Stage.t;
+  iexact : Iexact.outcome Stage.t;
+  kiss : Encoding.t Stage.t;
+  one_hot : Encoding.t Stage.t;
+  randoms : Encoding.t list Stage.t;
 }
 
 let num_random_runs = 8
@@ -20,46 +19,39 @@ let num_random_runs = 8
    up on the big ones. *)
 let iexact_budget = 400_000
 
-let timed cell f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  cell := Unix.gettimeofday () -. t0;
-  r
-
 let make name =
   let machine = Benchmarks.Suite.find name in
   let n = Fsm.num_states ~m:machine in
-  let sym = lazy (Symbolic.of_fsm machine) in
-  let ics = lazy (Constraints.of_symbolic (Lazy.force sym)) in
-  let ihybrid_time = ref 0.0 in
-  let ihybrid =
-    lazy (timed ihybrid_time (fun () -> Ihybrid.ihybrid_code ~num_states:n (Lazy.force ics)))
+  let sym = Stage.make ~name:"symbolic-cover" (fun () -> Symbolic.of_fsm machine) in
+  let ics =
+    Stage.make ~name:"constraints" (fun () -> Constraints.of_symbolic (Stage.force sym))
   in
+  let symbolic_min = Stage.make ~name:"symbolic-min" (fun () -> Symbmin.run (Stage.force sym)) in
   {
     name;
     machine;
     sym;
     ics;
-    symbolic_min = lazy (Symbmin.run (Lazy.force sym));
-    ihybrid;
-    ihybrid_time;
-    igreedy = lazy (Igreedy.igreedy_code ~num_states:n (Lazy.force ics));
+    symbolic_min;
+    ihybrid =
+      Stage.make ~name:"ihybrid" (fun () -> Ihybrid.ihybrid_code ~num_states:n (Stage.force ics));
+    igreedy =
+      Stage.make ~name:"igreedy" (fun () -> Igreedy.igreedy_code ~num_states:n (Stage.force ics));
     iohybrid =
-      lazy
-        (let sm = Symbmin.run (Lazy.force sym) in
-         Iohybrid.iohybrid_code sm.Symbmin.problem);
+      Stage.make ~name:"iohybrid" (fun () ->
+          Iohybrid.iohybrid_code (Stage.force symbolic_min).Symbmin.problem);
     iexact =
-      lazy
-        (Iexact.iexact_code ~num_states:n ~max_work:iexact_budget
-           (List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) (Lazy.force ics)));
-    kiss = lazy (Baselines.kiss_encode ~num_states:n (Lazy.force ics));
-    one_hot = lazy (Encoding.one_hot n);
+      Stage.make ~name:"iexact" (fun () ->
+          Iexact.iexact_code ~num_states:n ~max_work:iexact_budget
+            (List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) (Stage.force ics)));
+    kiss = Stage.make ~name:"kiss" (fun () -> Baselines.kiss_encode ~num_states:n (Stage.force ics));
+    one_hot = Stage.make ~name:"one-hot" (fun () -> Encoding.one_hot n);
     randoms =
-      lazy
-        (let nbits = Ihybrid.min_code_length n in
-         List.init num_random_runs (fun i ->
-             let rng = Random.State.make [| 77; i; n |] in
-             Encoding.random rng ~num_states:n ~nbits));
+      Stage.make ~name:"randoms" (fun () ->
+          let nbits = Ihybrid.min_code_length n in
+          List.init num_random_runs (fun i ->
+              let rng = Random.State.make [| 77; i; n |] in
+              Encoding.random rng ~num_states:n ~nbits));
   }
 
 let flows : (string, t) Hashtbl.t = Hashtbl.create 41
@@ -86,14 +78,14 @@ let implement flow (e : Encoding.t) =
 let area_of flow e = (implement flow e).Encoded.area
 
 let random_best_avg flow =
-  let areas = List.map (area_of flow) (Lazy.force flow.randoms) in
+  let areas = List.map (area_of flow) (Stage.force flow.randoms) in
   let best = List.fold_left min max_int areas in
   let avg = List.fold_left ( + ) 0 areas / List.length areas in
   (best, avg)
 
 let best_ih_ig flow =
-  let eh = (Lazy.force flow.ihybrid).Ihybrid.encoding in
-  let eg = (Lazy.force flow.igreedy).Igreedy.encoding in
+  let eh = (Stage.force flow.ihybrid).Ihybrid.encoding in
+  let eg = (Stage.force flow.igreedy).Igreedy.encoding in
   if area_of flow eh <= area_of flow eg then eh else eg
 
 (* "Best of NOVA": the minimum area over the program's algorithms,
@@ -106,13 +98,13 @@ let nova_candidates flow =
   let multi =
     List.map
       (fun os ->
-        (Ihybrid.ihybrid_code ~num_states:n ~order_seed:os (Lazy.force flow.ics)).Ihybrid.encoding)
+        (Ihybrid.ihybrid_code ~num_states:n ~order_seed:os (Stage.force flow.ics)).Ihybrid.encoding)
       [ 1; 2; 3 ]
   in
   [
-    (Lazy.force flow.ihybrid).Ihybrid.encoding;
-    (Lazy.force flow.igreedy).Igreedy.encoding;
-    (Lazy.force flow.iohybrid).Iohybrid.encoding;
+    (Stage.force flow.ihybrid).Ihybrid.encoding;
+    (Stage.force flow.igreedy).Igreedy.encoding;
+    (Stage.force flow.iohybrid).Iohybrid.encoding;
   ]
   @ multi
 

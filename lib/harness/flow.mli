@@ -3,23 +3,24 @@
     Every paper table needs some subset of: the multiple-valued
     minimization (input constraints), symbolic minimization (mixed
     constraints), the four NOVA encodings, the baselines, random
-    assignments, and an ESPRESSO run per encoding. This module computes
-    each once per machine and caches it, recording wall-clock times. *)
+    assignments, and an ESPRESSO run per encoding. Each is a memoized
+    {!Stage.t} computed once per machine: forcing a stage records its
+    wall-clock time ({!Stage.elapsed}) and an [Instrument] span under
+    ["pipeline.<stage>"]. *)
 
 type t = {
   name : string;
   machine : Fsm.t;
-  sym : Symbolic.t Lazy.t;
-  ics : Constraints.input_constraint list Lazy.t;
-  symbolic_min : Symbmin.t Lazy.t;
-  ihybrid : Ihybrid.result Lazy.t;
-  ihybrid_time : float ref;  (** seconds, filled when [ihybrid] forces *)
-  igreedy : Igreedy.result Lazy.t;
-  iohybrid : Iohybrid.result Lazy.t;
-  iexact : Iexact.outcome Lazy.t;
-  kiss : Encoding.t Lazy.t;
-  one_hot : Encoding.t Lazy.t;
-  randoms : Encoding.t list Lazy.t;  (** the paper's random-assignment pool *)
+  sym : Symbolic.t Stage.t;
+  ics : Constraints.input_constraint list Stage.t;
+  symbolic_min : Symbmin.t Stage.t;
+  ihybrid : Ihybrid.result Stage.t;
+  igreedy : Igreedy.result Stage.t;
+  iohybrid : Iohybrid.result Stage.t;
+  iexact : Iexact.outcome Stage.t;
+  kiss : Encoding.t Stage.t;
+  one_hot : Encoding.t Stage.t;
+  randoms : Encoding.t list Stage.t;  (** the paper's random-assignment pool *)
 }
 
 (** [get name] is the cached flow of benchmark machine [name]. *)

@@ -47,7 +47,7 @@ let table2 ?(quick = false) ppf () =
     (fun name ->
       let f = Flow.get name in
       let iex =
-        if heavy name then Iexact.Exhausted else Lazy.force f.Flow.iexact
+        if heavy name then Iexact.Exhausted else Stage.force f.Flow.iexact
       in
       let iex_cells =
         match iex with
@@ -59,14 +59,14 @@ let table2 ?(quick = false) ppf () =
             [ (soi k ^ if proven then "" else "*"); soi r.Encoded.num_cubes; soi r.Encoded.area ]
         | Iexact.Exhausted -> [ "-"; "-"; "-" ]
       in
-      let eh = (Lazy.force f.Flow.ihybrid).Ihybrid.encoding in
+      let eh = (Stage.force f.Flow.ihybrid).Ihybrid.encoding in
       let rh = Flow.implement f eh in
-      let eg = (Lazy.force f.Flow.igreedy).Igreedy.encoding in
+      let eg = (Stage.force f.Flow.igreedy).Igreedy.encoding in
       let rg = Flow.implement f eg in
       (* 1-hot codes only fit the int-based encoding up to 60 states. *)
       let oh_cubes =
         if Fsm.num_states ~m:f.Flow.machine > 60 then "-"
-        else soi (Flow.implement f (Lazy.force f.Flow.one_hot)).Encoded.num_cubes
+        else soi (Flow.implement f (Stage.force f.Flow.one_hot)).Encoded.num_cubes
       in
       area_pairs :=
         (min rh.Encoded.area rg.Encoded.area,
@@ -98,7 +98,7 @@ let table3 ?(quick = false) ppf () =
       let f = Flow.get name in
       let eb = Flow.best_ih_ig f in
       let rb = Flow.implement f eb in
-      let ek = Lazy.force f.Flow.kiss in
+      let ek = Stage.force f.Flow.kiss in
       let rk = Flow.implement f ek in
       let rnd_best, rnd_avg = Flow.random_best_avg f in
       best_pairs := (rb.Encoded.area, paper (fun r -> r.Benchmarks.Paper_data.best_ig_ih_area) name) :: !best_pairs;
@@ -133,7 +133,7 @@ let table4 ?(quick = false) ppf () =
   List.iter
     (fun name ->
       let f = Flow.get name in
-      let eio = (Lazy.force f.Flow.iohybrid).Iohybrid.encoding in
+      let eio = (Stage.force f.Flow.iohybrid).Iohybrid.encoding in
       let rio = Flow.implement f eio in
       let eb = Flow.best_ih_ig f in
       let rb = Flow.implement f eb in
@@ -169,7 +169,7 @@ let table5 ?(quick = false) ppf () =
     (fun name ->
       if (not quick) || not (heavy name) then begin
         let f = Flow.get name in
-        let eio = (Lazy.force f.Flow.iohybrid).Iohybrid.encoding in
+        let eio = (Stage.force f.Flow.iohybrid).Iohybrid.encoding in
         let rio = Flow.implement f eio in
         let capp = paper (fun r -> r.Benchmarks.Paper_data.cappuccino_area) name in
         pairs := (rio.Encoded.area, capp) :: !pairs;
@@ -194,19 +194,19 @@ let table6 ?(quick = false) ppf () =
   List.iter
     (fun name ->
       let f = Flow.get name in
-      let ih = Lazy.force f.Flow.ihybrid in
-      let time = !(f.Flow.ihybrid_time) in
+      let ih = Stage.force f.Flow.ihybrid in
+      let time = Stage.elapsed f.Flow.ihybrid in
       let wsat =
         List.fold_left (fun a (ic : Constraints.input_constraint) -> a + ic.Constraints.weight) 0 ih.Ihybrid.satisfied
       in
       let wunsat =
         List.fold_left (fun a (ic : Constraints.input_constraint) -> a + ic.Constraints.weight) 0 ih.Ihybrid.unsatisfied
       in
-      let clength = (Lazy.force f.Flow.kiss).Encoding.nbits in
+      let clength = (Stage.force f.Flow.kiss).Encoding.nbits in
       let ex_clength =
         if heavy name then "?"
         else
-          match Lazy.force f.Flow.iexact with
+          match Stage.force f.Flow.iexact with
           | Iexact.Sat { k; proven; _ } -> if proven then soi k else "<=" ^ soi k
           | Iexact.Exhausted -> "?"
       in
@@ -229,13 +229,13 @@ let nova_best_minlen f =
     List.filter
       (fun (e : Encoding.t) -> e.Encoding.nbits = min_len)
       [
-        (Lazy.force f.Flow.ihybrid).Ihybrid.encoding;
-        (Lazy.force f.Flow.igreedy).Igreedy.encoding;
-        (Lazy.force f.Flow.iohybrid).Iohybrid.encoding;
+        (Stage.force f.Flow.ihybrid).Ihybrid.encoding;
+        (Stage.force f.Flow.igreedy).Igreedy.encoding;
+        (Stage.force f.Flow.iohybrid).Iohybrid.encoding;
       ]
   in
   match candidates with
-  | [] -> (Lazy.force f.Flow.igreedy).Igreedy.encoding
+  | [] -> (Stage.force f.Flow.igreedy).Igreedy.encoding
   | e :: rest ->
       List.fold_left
         (fun best c ->
@@ -257,7 +257,7 @@ let table7 ?(quick = false) ppf () =
       let mu_lits = Flow.factored_literals f emu in
       let nova_lits = Flow.factored_literals f en in
       let rnd_lits =
-        let randoms = Lazy.force f.Flow.randoms in
+        let randoms = Stage.force f.Flow.randoms in
         let best =
           List.fold_left
             (fun best e -> if Flow.area_of f e < Flow.area_of f best then e else best)
@@ -336,7 +336,7 @@ let fig8 ?quick ppf () =
   figure ?quick ppf ~title:"Table VIII (figure): area ratios over best of NOVA"
     ~series:
       [
-        ("KISS/NOVA", fun f -> area_ratio f (fun f -> Flow.area_of f (Lazy.force f.Flow.kiss)) nova_area);
+        ("KISS/NOVA", fun f -> area_ratio f (fun f -> Flow.area_of f (Stage.force f.Flow.kiss)) nova_area);
         ("rnd-best/NOVA", fun f -> area_ratio f (fun f -> fst (Flow.random_best_avg f)) nova_area);
         ("rnd-avg/NOVA", fun f -> area_ratio f (fun f -> snd (Flow.random_best_avg f)) nova_area);
       ]
@@ -348,10 +348,10 @@ let fig9 ?quick ppf () =
       [
         ( "ihybrid/NOVA",
           fun f ->
-            area_ratio f (fun f -> Flow.area_of f (Lazy.force f.Flow.ihybrid).Ihybrid.encoding) nova_area );
+            area_ratio f (fun f -> Flow.area_of f (Stage.force f.Flow.ihybrid).Ihybrid.encoding) nova_area );
         ( "iohybrid/NOVA",
           fun f ->
-            area_ratio f (fun f -> Flow.area_of f (Lazy.force f.Flow.iohybrid).Iohybrid.encoding) nova_area );
+            area_ratio f (fun f -> Flow.area_of f (Stage.force f.Flow.iohybrid).Iohybrid.encoding) nova_area );
       ]
     ()
 

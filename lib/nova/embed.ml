@@ -10,13 +10,12 @@ type level_policy = Fixed_min | Flexible of int | Dimvect of int array
 type params = {
   k : int;
   policy : level_policy;
-  max_work : int option;
-  work_counter : int ref;
+  budget : Budget.t;
   output_constraints : Constraints.output_constraint list;
 }
 
 let default_params ~k =
-  { k; policy = Fixed_min; max_work = None; work_counter = ref 0; output_constraints = [] }
+  { k; policy = Fixed_min; budget = Budget.unlimited; output_constraints = [] }
 
 type outcome = Sat of { codes : int array; faces : Face.t array } | Unsat | Exhausted
 
@@ -45,13 +44,9 @@ let solve (poset : Input_poset.t) params =
           | None -> ())
       elements;
     let state_code = Array.make n (-1) in
-    let work = params.work_counter in
     let tick () =
-      incr work;
       Instrument.bump c_ticks;
-      match params.max_work with
-      | Some limit when !work > limit -> raise Work_exhausted
-      | Some _ | None -> ()
+      if not (Budget.tick params.budget) then raise Work_exhausted
     in
     (* Verification of Section 3.4.3 against every assigned element. *)
     let verify id face =

@@ -25,16 +25,16 @@ type level_policy =
 type params = {
   k : int;  (** embedding dimension *)
   policy : level_policy;
-  max_work : int option;  (** bound on attempted face assignments *)
-  work_counter : int ref;
-      (** shared across calls so a sequence of searches can run under one
-          budget; compared against [max_work] *)
+  budget : Budget.t;
+      (** charged one tick per attempted face assignment; shareable
+          across calls (and with the caller, via {!Budget.sub}) so a
+          sequence of searches runs under one budget *)
   output_constraints : Constraints.output_constraint list;
       (** covering relations rejected during search (io_semiexact) *)
 }
 
-(** [default_params ~k] is [k], minimum levels, no bound, a fresh
-    counter, and no output constraints. *)
+(** [default_params ~k] is [k], minimum levels, an unconstrained budget,
+    and no output constraints. *)
 val default_params : k:int -> params
 
 type outcome =

@@ -19,18 +19,19 @@ let advance levels lo hi =
   in
   bump (n - 1)
 
-let iexact_code ~num_states ?(max_work = 2_000_000) ics =
+let iexact_code ~num_states ?(max_work = 2_000_000) ?(budget = Budget.unlimited) ics =
   let poset = Input_poset.build ~num_states ics in
   let mincube = Input_poset.mincube_dim poset in
   let primaries =
     Array.to_list poset.Input_poset.elements
     |> List.filter (fun e -> e.Input_poset.category = 1 && e.Input_poset.card > 1)
   in
-  let work_counter = ref 0 in
-  let out_of_budget () = !work_counter >= max_work in
+  (* The intrinsic cap is a sub-budget: the search charges the caller's
+     budget too, and stops at whichever limit comes first. *)
+  let local = Budget.sub ~max_work budget in
+  let out_of_budget () = Budget.exhausted local in
   let solve ~k policy =
-    Embed.solve poset
-      { Embed.k; policy; max_work = Some max_work; work_counter; output_constraints = [] }
+    Embed.solve poset { Embed.k; policy; budget = local; output_constraints = [] }
   in
   let answer = ref None in
   let all_below_refuted = ref true in
@@ -72,10 +73,12 @@ let iexact_code ~num_states ?(max_work = 2_000_000) ics =
   done;
   (* Budget gone with nothing found: sweep a few more dimensions with the
      fast probe, reporting any full-satisfaction length found as unproven
-     (the paper's starred entries). *)
+     (the paper's starred entries). The probes run on fresh sub-budgets
+     of the caller's, so the intrinsic cap above does not silence them —
+     but a caller deadline still does. *)
   if !answer = None then begin
     let kk = ref !k in
-    while !answer = None && !kk <= min upper (mincube + 3) do
+    while !answer = None && (not (Budget.exhausted budget)) && !kk <= min upper (mincube + 3) do
       List.iter
         (fun policy ->
           if !answer = None then
@@ -84,8 +87,7 @@ let iexact_code ~num_states ?(max_work = 2_000_000) ics =
                 {
                   Embed.k = !kk;
                   policy;
-                  max_work = Some 200_000;
-                  work_counter = ref 0;
+                  budget = Budget.sub ~max_work:200_000 budget;
                   output_constraints = [];
                 }
             with
@@ -111,27 +113,28 @@ let iexact_code ~num_states ?(max_work = 2_000_000) ics =
     let kept = ref [] in
     List.iter
       (fun g ->
-        let trial = Input_poset.build ~num_states (g :: !kept) in
-        match
-          Embed.solve trial
-            {
-              Embed.k = min_len;
-              policy = Embed.Fixed_min;
-              max_work = Some 30_000;
-              work_counter = ref 0;
-              output_constraints = [];
-            }
-        with
-        | Embed.Sat { codes = cs; _ } ->
-            codes := cs;
-            kept := g :: !kept
-        | Embed.Unsat | Embed.Exhausted -> ())
+        if not (Budget.exhausted budget) then begin
+          let trial = Input_poset.build ~num_states (g :: !kept) in
+          match
+            Embed.solve trial
+              {
+                Embed.k = min_len;
+                policy = Embed.Fixed_min;
+                budget = Budget.sub ~max_work:30_000 budget;
+                output_constraints = [];
+              }
+          with
+          | Embed.Sat { codes = cs; _ } ->
+              codes := cs;
+              kept := g :: !kept
+          | Embed.Unsat | Embed.Exhausted -> ()
+        end)
       (List.sort (fun a b -> compare (Bitvec.cardinal b) (Bitvec.cardinal a)) ics);
     let nbits = ref min_len in
     let e0 = Encoding.make ~nbits:min_len !codes in
     let sic, ric = List.partition (Constraints.satisfied e0) ics in
     let sic = ref (List.map constraint_of sic) and ric = ref (List.map constraint_of ric) in
-    while !ric <> [] && !nbits < 60 do
+    while !ric <> [] && !nbits < 60 && not (Budget.exhausted budget) do
       let codes', newly, still = Project.project ~codes:!codes ~nbits:!nbits ~sic:!sic ~ric:!ric in
       codes := codes';
       sic := newly @ !sic;
@@ -142,17 +145,20 @@ let iexact_code ~num_states ?(max_work = 2_000_000) ics =
   end;
   match !answer with Some r -> Sat r | None -> Exhausted
 
-let semiexact_code ~num_states ~k ?(max_work = 30_000) ?(output_constraints = []) ics =
-  let poset = Input_poset.build ~num_states ics in
-  match
-    Embed.solve poset
-      {
-        Embed.k;
-        policy = Embed.Fixed_min;
-        max_work = Some max_work;
-        work_counter = ref 0;
-        output_constraints;
-      }
-  with
-  | Embed.Sat { codes; _ } -> Some codes
-  | Embed.Unsat | Embed.Exhausted -> None
+let semiexact_code ~num_states ~k ?(max_work = 30_000) ?(budget = Budget.unlimited)
+    ?(output_constraints = []) ics =
+  if Budget.exhausted budget then None
+  else begin
+    let poset = Input_poset.build ~num_states ics in
+    match
+      Embed.solve poset
+        {
+          Embed.k;
+          policy = Embed.Fixed_min;
+          budget = Budget.sub ~max_work budget;
+          output_constraints;
+        }
+    with
+    | Embed.Sat { codes; _ } -> Some codes
+    | Embed.Unsat | Embed.Exhausted -> None
+  end

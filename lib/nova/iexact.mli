@@ -23,10 +23,13 @@ type result = {
 
 type outcome = Sat of result | Exhausted
 
-(** [iexact_code ~num_states ~max_work ics] runs the exact search with a
-    global budget of [max_work] attempted face assignments (default
-    [2_000_000]). *)
-val iexact_code : num_states:int -> ?max_work:int -> Bitvec.t list -> outcome
+(** [iexact_code ~num_states ~max_work ~budget ics] runs the exact
+    search. [max_work] is the intrinsic cap on attempted face
+    assignments (default [2_000_000]); [budget], when given, is the
+    caller's cross-cutting budget — the search charges it too and stops
+    at whichever limit (work, deadline, cancellation) comes first. *)
+val iexact_code :
+  num_states:int -> ?max_work:int -> ?budget:Budget.t -> Bitvec.t list -> outcome
 
 (** [semiexact_code ~num_states ~k ~max_work ?output_constraints ics] is
     the bounded-backtracking variant of Section 4.1: all faces at their
@@ -38,6 +41,7 @@ val semiexact_code :
   num_states:int ->
   k:int ->
   ?max_work:int ->
+  ?budget:Budget.t ->
   ?output_constraints:Constraints.output_constraint list ->
   Bitvec.t list ->
   int array option

@@ -4,14 +4,11 @@ type result = {
   unsatisfied : Constraints.input_constraint list;
 }
 
-let igreedy_code ~num_states ?nbits ics =
+let igreedy_code ~num_states ?nbits ?(budget = Budget.unlimited) ics =
   let k =
     match nbits with
     | Some b -> max b (Ihybrid.min_code_length num_states)
     | None -> Ihybrid.min_code_length num_states
-  in
-  let poset =
-    Input_poset.build ~num_states (List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) ics)
   in
   let weight_of states =
     List.fold_left
@@ -20,14 +17,23 @@ let igreedy_code ~num_states ?nbits ics =
       0 ics
   in
   (* Deepest (smallest) groups first — common subconstraints get priority;
-     heavier groups first within a depth. *)
+     heavier groups first within a depth. As the ladder's terminal rung
+     this must stay prompt: an already-exhausted budget skips the
+     constraint grouping entirely and falls through to sequential
+     codes. *)
   let groups =
-    Array.to_list poset.Input_poset.elements
-    |> List.filter (fun e -> e.Input_poset.card >= 2 && e.Input_poset.card < num_states)
-    |> List.map (fun e -> (e.Input_poset.states, e.Input_poset.card, weight_of e.Input_poset.states))
-    |> List.sort (fun (_, c1, w1) (_, c2, w2) ->
-           let c = compare c1 c2 in
-           if c <> 0 then c else compare w2 w1)
+    if Budget.exhausted budget then []
+    else
+      let poset =
+        Input_poset.build ~num_states
+          (List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) ics)
+      in
+      Array.to_list poset.Input_poset.elements
+      |> List.filter (fun e -> e.Input_poset.card >= 2 && e.Input_poset.card < num_states)
+      |> List.map (fun e -> (e.Input_poset.states, e.Input_poset.card, weight_of e.Input_poset.states))
+      |> List.sort (fun (_, c1, w1) (_, c2, w2) ->
+             let c = compare c1 c2 in
+             if c <> 0 then c else compare w2 w1)
   in
   let state_code = Array.make num_states (-1) in
   let code_used = Hashtbl.create num_states in
@@ -98,7 +104,7 @@ let igreedy_code ~num_states ?nbits ics =
               | [] -> assert false)
           group
   in
-  List.iter (fun (g, _, _) -> try_group g) groups;
+  List.iter (fun (g, _, _) -> if not (Budget.exhausted budget) then try_group g) groups;
   (* Leftover states take arbitrary free codes. *)
   let next_free = ref 0 in
   for s = 0 to num_states - 1 do

@@ -12,7 +12,13 @@ type result = {
   unsatisfied : Constraints.input_constraint list;
 }
 
-(** [igreedy_code ~num_states ~nbits ics]. [nbits] defaults to the
-    minimum code length. *)
+(** [igreedy_code ~num_states ~nbits ~budget ics]. [nbits] defaults to
+    the minimum code length. [igreedy] is the pipeline's terminal
+    fallback rung, so it never fails: an exhausted [budget] only makes it
+    skip the constraint grouping and hand out sequential codes. *)
 val igreedy_code :
-  num_states:int -> ?nbits:int -> Constraints.input_constraint list -> result
+  num_states:int ->
+  ?nbits:int ->
+  ?budget:Budget.t ->
+  Constraints.input_constraint list ->
+  result

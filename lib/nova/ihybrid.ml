@@ -2,6 +2,7 @@ type result = {
   encoding : Encoding.t;
   satisfied : Constraints.input_constraint list;
   unsatisfied : Constraints.input_constraint list;
+  random_start : bool;
 }
 
 let min_code_length n =
@@ -12,7 +13,8 @@ let by_weight_desc (a : Constraints.input_constraint) (b : Constraints.input_con
   let c = compare b.Constraints.weight a.Constraints.weight in
   if c <> 0 then c else Bitvec.compare a.Constraints.states b.Constraints.states
 
-let ihybrid_code ~num_states ?nbits ?(max_work = 30_000) ?(seed = 0) ?order_seed ics =
+let ihybrid_code ~num_states ?nbits ?(max_work = 30_000) ?(seed = 0) ?order_seed
+    ?(budget = Budget.unlimited) ics =
   let min_len = min_code_length num_states in
   let nbits = match nbits with Some b -> max b min_len | None -> min_len in
   let ordered =
@@ -32,14 +34,17 @@ let ihybrid_code ~num_states ?nbits ?(max_work = 30_000) ?(seed = 0) ?order_seed
   (* Accretion at the minimum code length. *)
   List.iter
     (fun (ic : Constraints.input_constraint) ->
-      let groups = List.map (fun (c : Constraints.input_constraint) -> c.Constraints.states) (ic :: !sic) in
-      match Iexact.semiexact_code ~num_states ~k:min_len ~max_work groups with
-      | Some cs ->
-          codes := Some cs;
-          sic := ic :: !sic
-      | None -> ric := ic :: !ric)
+      if Budget.exhausted budget then ric := ic :: !ric
+      else
+        let groups = List.map (fun (c : Constraints.input_constraint) -> c.Constraints.states) (ic :: !sic) in
+        match Iexact.semiexact_code ~num_states ~k:min_len ~max_work ~budget groups with
+        | Some cs ->
+            codes := Some cs;
+            sic := ic :: !sic
+        | None -> ric := ic :: !ric)
     ordered;
   (* Pathological fallback: a random starting encoding. *)
+  let random_start = !codes = None in
   let codes =
     match !codes with
     | Some cs -> ref cs
@@ -49,7 +54,7 @@ let ihybrid_code ~num_states ?nbits ?(max_work = 30_000) ?(seed = 0) ?order_seed
   in
   (* Projection into the extra dimensions, if any. *)
   let cube_dim = ref min_len in
-  while !ric <> [] && !cube_dim < nbits do
+  while !ric <> [] && !cube_dim < nbits && not (Budget.exhausted budget) do
     let codes', newly, still = Project.project ~codes:!codes ~nbits:!cube_dim ~sic:!sic ~ric:!ric in
     codes := codes';
     sic := newly @ !sic;
@@ -64,4 +69,4 @@ let ihybrid_code ~num_states ?nbits ?(max_work = 30_000) ?(seed = 0) ?order_seed
       (fun (ic : Constraints.input_constraint) -> Constraints.satisfied encoding ic.Constraints.states)
       ics
   in
-  { encoding; satisfied; unsatisfied }
+  { encoding; satisfied; unsatisfied; random_start }

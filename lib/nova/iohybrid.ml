@@ -9,6 +9,7 @@ type result = {
   sat_inputs : Constraints.input_constraint list;
   unsat_inputs : Constraints.input_constraint list;
   sat_clusters : Constraints.oc_cluster list;
+  random_start : bool;
 }
 
 let by_weight_desc (a : Constraints.input_constraint) (b : Constraints.input_constraint) =
@@ -24,7 +25,7 @@ let cluster_edges clusters =
 
 let groups_of ics = List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) ics
 
-let finish ~num_states ~codes ~nbits ~ics ~clusters =
+let finish ~num_states ~codes ~nbits ~ics ~clusters ~random_start =
   let encoding = Encoding.make ~nbits codes in
   let sat_inputs, unsat_inputs =
     List.partition
@@ -33,9 +34,9 @@ let finish ~num_states ~codes ~nbits ~ics ~clusters =
   in
   let sat_clusters = List.filter (Constraints.cluster_satisfied encoding) clusters in
   ignore num_states;
-  { encoding; sat_inputs; unsat_inputs; sat_clusters }
+  { encoding; sat_inputs; unsat_inputs; sat_clusters; random_start }
 
-let run ~variant ?nbits ?(max_work = 30_000) ?(seed = 0) p =
+let run ~variant ?nbits ?(max_work = 30_000) ?(seed = 0) ?(budget = Budget.unlimited) p =
   let n = p.num_states in
   let min_len = Ihybrid.min_code_length n in
   let nbits = match nbits with Some b -> max b min_len | None -> min_len in
@@ -43,10 +44,10 @@ let run ~variant ?nbits ?(max_work = 30_000) ?(seed = 0) p =
     (* Only output constraints: defer to the output encoder, within the
        caller's code-length budget. *)
     let encoding =
-      Out_encoder.out_encoder ~num_states:n ~max_bits:nbits (cluster_edges p.clusters)
+      Out_encoder.out_encoder ~num_states:n ~max_bits:nbits ~budget (cluster_edges p.clusters)
     in
     finish ~num_states:n ~codes:encoding.Encoding.codes ~nbits:encoding.Encoding.nbits
-      ~ics:p.ics ~clusters:p.clusters
+      ~ics:p.ics ~clusters:p.clusters ~random_start:false
   end
   else begin
     let companion_groups =
@@ -65,7 +66,8 @@ let run ~variant ?nbits ?(max_work = 30_000) ?(seed = 0) p =
     List.iter
       (fun (ic : Constraints.input_constraint) ->
         match
-          Iexact.semiexact_code ~num_states:n ~k:min_len ~max_work (groups_of (ic :: !sic))
+          Iexact.semiexact_code ~num_states:n ~k:min_len ~max_work ~budget
+            (groups_of (ic :: !sic))
         with
         | Some cs ->
             codes := Some cs;
@@ -89,7 +91,8 @@ let run ~variant ?nbits ?(max_work = 30_000) ?(seed = 0) p =
         let groups = groups_of (companions @ !sic) in
         let ocs = cluster_edges (cl :: !soc) in
         match
-          Iexact.semiexact_code ~num_states:n ~k:min_len ~max_work ~output_constraints:ocs groups
+          Iexact.semiexact_code ~num_states:n ~k:min_len ~max_work ~budget
+            ~output_constraints:ocs groups
         with
         | Some cs ->
             codes := Some cs;
@@ -114,6 +117,7 @@ let run ~variant ?nbits ?(max_work = 30_000) ?(seed = 0) p =
                     !ric)
       (List.sort by_cluster_weight_desc p.clusters);
     (* Fallback and projection, exactly as in ihybrid. *)
+    let random_start = !codes = None in
     let codes =
       match !codes with
       | Some cs -> ref cs
@@ -122,7 +126,7 @@ let run ~variant ?nbits ?(max_work = 30_000) ?(seed = 0) p =
           ref (Encoding.random rng ~num_states:n ~nbits:min_len).Encoding.codes
     in
     let cube_dim = ref min_len in
-    while !ric <> [] && !cube_dim < nbits do
+    while !ric <> [] && !cube_dim < nbits && not (Budget.exhausted budget) do
       let codes', newly, still =
         Project.project ~codes:!codes ~nbits:!cube_dim ~sic:!sic ~ric:!ric
       in
@@ -132,7 +136,11 @@ let run ~variant ?nbits ?(max_work = 30_000) ?(seed = 0) p =
       incr cube_dim
     done;
     finish ~num_states:n ~codes:!codes ~nbits:!cube_dim ~ics:p.ics ~clusters:p.clusters
+      ~random_start
   end
 
-let iohybrid_code ?nbits ?max_work ?seed p = run ~variant:false ?nbits ?max_work ?seed p
-let iovariant_code ?nbits ?max_work ?seed p = run ~variant:true ?nbits ?max_work ?seed p
+let iohybrid_code ?nbits ?max_work ?seed ?budget p =
+  run ~variant:false ?nbits ?max_work ?seed ?budget p
+
+let iovariant_code ?nbits ?max_work ?seed ?budget p =
+  run ~variant:true ?nbits ?max_work ?seed ?budget p

@@ -24,7 +24,17 @@ type result = {
   sat_inputs : Constraints.input_constraint list;
   unsat_inputs : Constraints.input_constraint list;
   sat_clusters : Constraints.oc_cluster list;
+  random_start : bool;
+      (** true when every accretion step failed and the projection
+          started from the fallback random encoding *)
 }
 
-val iohybrid_code : ?nbits:int -> ?max_work:int -> ?seed:int -> problem -> result
-val iovariant_code : ?nbits:int -> ?max_work:int -> ?seed:int -> problem -> result
+(** [budget] is the caller's cross-cutting budget: every bounded search
+    charges it, and once it runs out the remaining accretion steps and
+    projections are skipped. May propagate [Budget.Out_of_budget] from
+    {!Out_encoder} on the output-constraints-only path. *)
+val iohybrid_code :
+  ?nbits:int -> ?max_work:int -> ?seed:int -> ?budget:Budget.t -> problem -> result
+
+val iovariant_code :
+  ?nbits:int -> ?max_work:int -> ?seed:int -> ?budget:Budget.t -> problem -> result

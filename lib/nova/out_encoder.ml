@@ -2,9 +2,15 @@ let ceil_log2 n =
   let rec bits k acc = if acc >= n then k else bits (k + 1) (acc * 2) in
   max 1 (bits 0 1)
 
-let out_encoder ~num_states ?max_bits ocs =
-  let budget = Option.value max_bits ~default:(max num_states (ceil_log2 num_states)) in
-  let budget = max budget (ceil_log2 num_states) in
+let out_encoder ~num_states ?max_bits ?(budget = Budget.unlimited) ocs =
+  let bit_budget = Option.value max_bits ~default:(max num_states (ceil_log2 num_states)) in
+  let bit_budget = max bit_budget (ceil_log2 num_states) in
+  (* The free-code scans range over up to [2^bit_budget] candidates:
+     poll the budget periodically so a deadline interrupts them. *)
+  let check_budget c =
+    if c land 1023 = 0 && Budget.exhausted budget then
+      raise (Budget.Out_of_budget (Option.value (Budget.reason budget) ~default:Budget.Work))
+  in
   (* covers.(u) = states u must cover bitwise. *)
   let covers = Array.make num_states [] in
   List.iter
@@ -41,7 +47,7 @@ let out_encoder ~num_states ?max_bits ocs =
         (not (Hashtbl.mem used code)) && List.for_all (fun v -> code <> codes.(v)) covers.(s)
       in
       let rec fresh_bits () =
-        if !next_bit >= budget then None
+        if !next_bit >= bit_budget then None
         else begin
           let b = !next_bit in
           incr next_bit;
@@ -51,8 +57,9 @@ let out_encoder ~num_states ?max_bits ocs =
       in
       let scan_free () =
         (* Any distinct code covering base within the budget. *)
-        let limit = 1 lsl budget in
+        let limit = 1 lsl bit_budget in
         let rec scan c =
+          check_budget c;
           if c >= limit then None
           else if c land base = base && distinct c then Some c
           else scan (c + 1)
@@ -70,10 +77,11 @@ let out_encoder ~num_states ?max_bits ocs =
         match code with
         | Some c -> c
         | None -> (
-            (* Budget exhausted: give up on this state's covering edges
-               and take any free code at all. *)
-            let limit = 1 lsl budget in
+            (* Bit budget exhausted: give up on this state's covering
+               edges and take any free code at all. *)
+            let limit = 1 lsl bit_budget in
             let rec scan c =
+              check_budget c;
               if c >= limit then invalid_arg "Out_encoder: no free codes within budget"
               else if not (Hashtbl.mem used c) then c
               else scan (c + 1)

@@ -6,13 +6,19 @@
     Each state's code is the bitwise OR of the codes of the states it
     must cover, plus a distinguishing bit when needed. *)
 
-(** [out_encoder ~num_states ?max_bits ocs] returns an encoding
+(** [out_encoder ~num_states ?max_bits ?budget ocs] returns an encoding
     satisfying covering relations of the acyclic constraint set [ocs].
     Without [max_bits] every relation is satisfied, using as many bits as
     the construction needs (at most [num_states]); with [max_bits] the
     construction stops spending distinguishing bits at that budget and
     relations that would need more are dropped (callers recheck
     satisfaction on the result). Raises [Invalid_argument] if the
-    relation graph has a cycle. *)
+    relation graph has a cycle, and [Budget.Out_of_budget] when [budget]
+    runs out inside a free-code scan (the encoder has no cheaper result
+    to degrade to — the driver falls down the ladder instead). *)
 val out_encoder :
-  num_states:int -> ?max_bits:int -> Constraints.output_constraint list -> Encoding.t
+  num_states:int ->
+  ?max_bits:int ->
+  ?budget:Budget.t ->
+  Constraints.output_constraint list ->
+  Encoding.t

@@ -1,0 +1,77 @@
+type reason = Work | Deadline | Cancelled
+
+type t = {
+  parent : t option;
+  max_work : int option;
+  deadline : float option;  (* absolute, Unix.gettimeofday clock *)
+  cancel : (unit -> bool) option;
+  mutable work : int;
+  mutable tripped : reason option;
+  mutable until_poll : int;
+}
+
+exception Out_of_budget of reason
+
+(* Deadline/cancellation are polled every [poll_interval] ticks, so a
+   tick on an unconstrained budget is just a couple of increments. *)
+let poll_interval = 256
+
+let make ?parent ?max_work ?deadline ?cancel () =
+  { parent; max_work; deadline; cancel; work = 0; tripped = None; until_poll = poll_interval }
+
+let unlimited = make ()
+
+let create ?max_work ?deadline_ms ?cancel () =
+  let deadline = Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) deadline_ms in
+  make ?max_work ?deadline ?cancel ()
+
+let sub ?max_work parent = make ~parent ?max_work ()
+
+let rec poll b =
+  (if b.tripped = None then
+     match b.deadline with
+     | Some d when Unix.gettimeofday () >= d -> b.tripped <- Some Deadline
+     | Some _ | None -> (
+         match b.cancel with
+         | Some f when f () -> b.tripped <- Some Cancelled
+         | Some _ | None -> ()));
+  match b.parent with Some p -> poll p | None -> ()
+
+let rec first_tripped b =
+  match b.tripped with
+  | Some r -> Some r
+  | None -> ( match b.parent with Some p -> first_tripped p | None -> None)
+
+(* Charge one unit to [b] and every ancestor; a counter that moves past
+   its cap trips its node ([work > cap]: the historical Embed tick). *)
+let rec bump b =
+  b.work <- b.work + 1;
+  (match b.max_work with
+  | Some cap when b.work > cap && b.tripped = None -> b.tripped <- Some Work
+  | Some _ | None -> ());
+  match b.parent with Some p -> bump p | None -> ()
+
+let tick b =
+  bump b;
+  b.until_poll <- b.until_poll - 1;
+  if b.until_poll <= 0 then begin
+    b.until_poll <- poll_interval;
+    poll b
+  end;
+  first_tripped b = None
+
+(* [work >= cap]: the historical iexact loop-guard pre-check. *)
+let rec at_cap b =
+  (match b.max_work with Some cap -> b.work >= cap | None -> false)
+  || match b.parent with Some p -> at_cap p | None -> false
+
+let exhausted b =
+  poll b;
+  first_tripped b <> None || at_cap b
+
+let reason b =
+  match first_tripped b with
+  | Some r -> Some r
+  | None -> if at_cap b then Some Work else None
+
+let spent b = b.work

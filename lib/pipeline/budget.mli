@@ -1,0 +1,59 @@
+(** A unified work/deadline/cancellation budget for the encoding
+    pipeline.
+
+    A budget carries a monotone work counter (one unit per attempted face
+    assignment, expanded cube, or similar elementary step), an optional
+    wall-clock deadline, and an optional cancellation callback. Budgets
+    form a tree: {!sub} creates a child whose work also counts against
+    every ancestor, so an algorithm can impose its intrinsic per-call cap
+    (the historical [?max_work] defaults) while still respecting a global
+    budget threaded from the driver or the CLI.
+
+    Two checks mirror the two historical idioms exactly:
+    - {!tick} increments and reports failure once the counter {e exceeds}
+      a cap (the [Embed] tick semantics), and
+    - {!exhausted} pre-checks whether the counter has {e reached} a cap
+      (the [iexact_code] loop-guard semantics),
+
+    so running under an unconstrained budget reproduces the pre-pipeline
+    behavior bit for bit. Deadlines are polled every few hundred ticks
+    (and on every {!exhausted} call), keeping the overhead of an
+    unconstrained budget to a counter increment. *)
+
+type reason =
+  | Work  (** a work cap was reached *)
+  | Deadline  (** the wall-clock deadline passed *)
+  | Cancelled  (** the cancellation callback returned [true] *)
+
+type t
+
+(** [unlimited] never exhausts: no caps, no deadline, no cancellation.
+    It is the default of every [?budget] parameter. *)
+val unlimited : t
+
+(** [create ?max_work ?deadline_ms ?cancel ()] is a fresh root budget.
+    [deadline_ms] is relative to now; [cancel] is polled periodically. *)
+val create : ?max_work:int -> ?deadline_ms:float -> ?cancel:(unit -> bool) -> unit -> t
+
+(** [sub ?max_work parent] is a child budget: its ticks also count
+    against [parent], and it is exhausted as soon as [parent] is. *)
+val sub : ?max_work:int -> t -> t
+
+(** [tick b] charges one unit of work. Returns [false] when the budget
+    (or an ancestor) is exhausted — the caller should stop. *)
+val tick : t -> bool
+
+(** [exhausted b] pre-checks the budget without charging work, polling
+    the deadline and cancellation callback. *)
+val exhausted : t -> bool
+
+(** [reason b] is why the budget ran out, if it did. *)
+val reason : t -> reason option
+
+(** [spent b] is the work charged to [b] (including by sub-budgets). *)
+val spent : t -> int
+
+(** Raised by pipeline stages that cannot return a degraded result when
+    their budget runs out mid-flight (e.g. {!Out_encoder}); the driver
+    converts it into [Nova_error.Budget_exhausted]. *)
+exception Out_of_budget of reason

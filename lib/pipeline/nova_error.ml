@@ -1,0 +1,55 @@
+type stage =
+  | Parse
+  | Constraints
+  | Symbolic_min
+  | Iexact
+  | Semiexact
+  | Project
+  | Ihybrid
+  | Igreedy
+  | Iohybrid
+  | Iovariant
+  | Out_encoder
+  | Baseline
+  | Minimize
+
+type t =
+  | Budget_exhausted of { stage : stage; reason : Budget.reason }
+  | Parse_error of { file : string; line : int; col : int; msg : string }
+  | Infeasible of { stage : stage; msg : string }
+  | Invalid_request of string
+
+let stage_name = function
+  | Parse -> "parse"
+  | Constraints -> "constraints"
+  | Symbolic_min -> "symbolic-min"
+  | Iexact -> "iexact"
+  | Semiexact -> "semiexact"
+  | Project -> "project"
+  | Ihybrid -> "ihybrid"
+  | Igreedy -> "igreedy"
+  | Iohybrid -> "iohybrid"
+  | Iovariant -> "iovariant"
+  | Out_encoder -> "out-encoder"
+  | Baseline -> "baseline"
+  | Minimize -> "minimize"
+
+let reason_name = function
+  | Budget.Work -> "work"
+  | Budget.Deadline -> "deadline"
+  | Budget.Cancelled -> "cancelled"
+
+let to_string = function
+  | Budget_exhausted { stage; reason } ->
+      Printf.sprintf "%s: budget exhausted (%s)" (stage_name stage) (reason_name reason)
+  | Parse_error { file; line; col; msg } -> Printf.sprintf "%s:%d:%d: %s" file line col msg
+  | Infeasible { stage; msg } -> Printf.sprintf "%s: infeasible: %s" (stage_name stage) msg
+  | Invalid_request msg -> Printf.sprintf "invalid request: %s" msg
+
+(* One exit code per constructor, so scripts can tell failure modes
+   apart. 1 is cmdliner's own; 124/125 are reserved by it too. *)
+let exit_code = function
+  | Parse_error _ -> 2
+  | Budget_exhausted _ -> 3
+  | Infeasible _ -> 4
+  | Invalid_request _ -> 5

@@ -1,0 +1,44 @@
+(** The typed error taxonomy of the encoding pipeline.
+
+    Every stage entry point of the pipeline returns
+    [('a, Nova_error.t) result] instead of raising, so the driver can
+    degrade gracefully (fall down the ladder) and the CLI can map each
+    failure mode to a distinct exit code. *)
+
+(** The pipeline stage an error originated in. *)
+type stage =
+  | Parse
+  | Constraints  (** multiple-valued minimization for input constraints *)
+  | Symbolic_min  (** symbolic minimization (Section 6.1) *)
+  | Iexact
+  | Semiexact
+  | Project
+  | Ihybrid
+  | Igreedy
+  | Iohybrid
+  | Iovariant
+  | Out_encoder
+  | Baseline  (** kiss / mustang / one-hot / random baseline encoders *)
+  | Minimize  (** final ESPRESSO minimization of the encoded cover *)
+
+type t =
+  | Budget_exhausted of { stage : stage; reason : Budget.reason }
+      (** the stage's work/deadline budget ran out before it produced a
+          usable result *)
+  | Parse_error of { file : string; line : int; col : int; msg : string }
+      (** malformed input; [line]/[col] are 1-based, 0 when unknown *)
+  | Infeasible of { stage : stage; msg : string }
+      (** the stage cannot succeed regardless of budget (unsatisfiable
+          constraints at the requested length, cyclic covering
+          relations, ...) *)
+  | Invalid_request of string  (** the request itself is malformed *)
+
+val stage_name : stage -> string
+val reason_name : Budget.reason -> string
+
+(** [to_string e] is a one-line human-readable rendering. *)
+val to_string : t -> string
+
+(** [exit_code e] is the CLI exit code for [e]: 2 parse, 3 budget,
+    4 infeasible, 5 invalid request (distinct per constructor). *)
+val exit_code : t -> int

@@ -1,0 +1,28 @@
+type 'a state = Pending of (unit -> 'a) | Done of 'a
+
+type 'a t = {
+  name : string;
+  timer : Instrument.timer;
+  mutable state : 'a state;
+  mutable elapsed : float;
+}
+
+let make ~name f =
+  { name; timer = Instrument.timer ("pipeline." ^ name); state = Pending f; elapsed = 0. }
+
+let name t = t.name
+let forced t = match t.state with Done _ -> true | Pending _ -> false
+let elapsed t = t.elapsed
+
+let force t =
+  match t.state with
+  | Done v -> v
+  | Pending f ->
+      (* The wall-clock figure is always measured (tables print it even
+         without instrumentation); the Instrument span only records when
+         probes are enabled. *)
+      let t0 = Unix.gettimeofday () in
+      let v = Instrument.time t.timer f in
+      t.elapsed <- Unix.gettimeofday () -. t0;
+      t.state <- Done v;
+      v

@@ -34,7 +34,7 @@ type order =
   | Index_order
 
 (** [run ?order sym] executes the symbolic minimization loop. *)
-val run : ?order:order -> Symbolic.t -> t
+val run : ?order:order -> ?budget:Budget.t -> Symbolic.t -> t
 
 (** [upper_bound t] is the product-term cardinality of the final cover —
     the encoding-independent upper bound symbolic minimization promises

@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI entry point: build everything, run the full test suite (unit +
-# property + randomized differential), then smoke the ESPRESSO kernel
-# benchmark so BENCH_espresso.json generation stays healthy.
+# property + randomized differential), smoke the CLI's exit-code
+# contract, stress the deadline/fallback path on a large generated
+# machine, then smoke the benchmark JSON emitters.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,7 +13,38 @@ dune build @all
 echo "== tests =="
 dune runtest --force
 
+echo "== CLI smoke: exit codes =="
+NOVA=_build/default/bin/nova_cli.exe
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+$NOVA encode -a iexact test/cli/good.kiss2 > /dev/null
+echo "  encode success: exit 0 ok"
+
+rc=0; $NOVA encode test/cli/truncated.kiss2 > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "parse error: expected exit 2, got $rc"; exit 1; }
+echo "  parse error: exit 2 ok"
+
+rc=0; $NOVA encode -a iexact --max-work 10 --no-fallback test/cli/good.kiss2 \
+  > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] || { echo "budget exhausted: expected exit 3, got $rc"; exit 1; }
+echo "  budget exhausted (--no-fallback): exit 3 ok"
+
+# Same budget with the fallback ladder enabled must succeed.
+$NOVA encode -a iexact --max-work 10 test/cli/good.kiss2 > /dev/null 2>/dev/null
+echo "  budget exhausted + fallback: exit 0 ok"
+
+echo "== deadline stress: 50ms budget on a large generated machine =="
+$NOVA gen -s 80 -p 400 -i 8 -o 8 > "$TMP/big.kiss2"
+# Must terminate promptly (the fallback ladder catches the deadline) —
+# a hang here is a pipeline bug, so hard-cap the run.
+timeout 10 $NOVA encode -a iexact --budget-ms 50 "$TMP/big.kiss2" > /dev/null 2>/dev/null
+echo "  deadline run terminated via fallback: exit 0 ok"
+
 echo "== bench smoke (quick espresso kernels) =="
 dune exec bench/main.exe -- --quick espresso
+
+echo "== bench smoke (quick pipeline) =="
+dune exec bench/main.exe -- --quick pipeline
 
 echo "CI OK"

@@ -2,12 +2,22 @@
 
 let check = Alcotest.(check bool)
 
+let encode_exn ?bits ?budget ?fallback m algo =
+  match Harness.Driver.encode ?bits ?budget ?fallback m algo with
+  | Ok o -> o.Harness.Driver.encoding
+  | Error e -> Alcotest.failf "encode failed: %s" (Nova_error.to_string e)
+
+let report_exn ?bits ?budget ?fallback m algo =
+  match Harness.Driver.report ?bits ?budget ?fallback m algo with
+  | Ok (o, r) -> (o.Harness.Driver.encoding, r)
+  | Error e -> Alcotest.failf "report failed: %s" (Nova_error.to_string e)
+
 let test_all_algorithms_run () =
   let m = Benchmarks.Suite.find "lion" in
   let n = Fsm.num_states ~m in
   List.iter
     (fun algo ->
-      let e, r = Harness.Driver.report m algo in
+      let e, r = report_exn m algo in
       check
         (Harness.Driver.name algo ^ " produces distinct codes")
         true
@@ -17,7 +27,7 @@ let test_all_algorithms_run () =
 
 let test_bits_override () =
   let m = Benchmarks.Suite.find "dk15" in
-  let e = Harness.Driver.encode ~bits:4 m Harness.Driver.Ihybrid in
+  let e = encode_exn ~bits:4 m Harness.Driver.Ihybrid in
   check "bits respected (or grown past)" true (e.Encoding.nbits >= 4)
 
 let test_names_unique () =
@@ -27,12 +37,29 @@ let test_names_unique () =
 
 let test_random_seeded () =
   let m = Benchmarks.Suite.find "dk15" in
-  let e1 = Harness.Driver.encode m (Harness.Driver.Random 7) in
-  let e2 = Harness.Driver.encode m (Harness.Driver.Random 7) in
-  let e3 = Harness.Driver.encode m (Harness.Driver.Random 8) in
+  let e1 = encode_exn m (Harness.Driver.Random 7) in
+  let e2 = encode_exn m (Harness.Driver.Random 7) in
+  let e3 = encode_exn m (Harness.Driver.Random 8) in
   check "same seed same codes" true (e1.Encoding.codes = e2.Encoding.codes);
   check "different seed (usually) different codes" true
     (e1.Encoding.codes <> e3.Encoding.codes || true)
+
+let test_primary_rung_reported () =
+  let m = Benchmarks.Suite.find "lion" in
+  match Harness.Driver.encode m Harness.Driver.Iexact with
+  | Error e -> Alcotest.failf "iexact failed: %s" (Nova_error.to_string e)
+  | Ok o ->
+      check "primary rung produced it" true
+        (o.Harness.Driver.produced_by = Harness.Driver.Rung_iexact);
+      check "no degradations recorded" true (o.Harness.Driver.degradations = [])
+
+let test_ladder_shapes () =
+  let open Harness.Driver in
+  Alcotest.(check int) "iexact ladder depth" 4 (List.length (ladder ~fallback:true Iexact));
+  Alcotest.(check int) "no-fallback is one rung" 1 (List.length (ladder ~fallback:false Iexact));
+  check "iohybrid falls back through ihybrid" true
+    (ladder ~fallback:true Iohybrid = [ Rung_iohybrid; Rung_ihybrid; Rung_igreedy ]);
+  check "one-hot has no fallback" true (ladder ~fallback:true One_hot = [ Rung_one_hot ])
 
 let suite =
   [
@@ -40,4 +67,6 @@ let suite =
     Alcotest.test_case "bits override" `Quick test_bits_override;
     Alcotest.test_case "names unique" `Quick test_names_unique;
     Alcotest.test_case "random is seeded" `Quick test_random_seeded;
+    Alcotest.test_case "primary rung reported" `Quick test_primary_rung_reported;
+    Alcotest.test_case "ladder shapes" `Quick test_ladder_shapes;
   ]

@@ -11,8 +11,7 @@ let solve ?(policy = Embed.Fixed_min) ?(ocs = []) ~n ~k gs =
     {
       Embed.k;
       policy;
-      max_work = Some 200_000;
-      work_counter = ref 0;
+      budget = Budget.create ~max_work:200_000 ();
       output_constraints = ocs;
     }
 
@@ -57,8 +56,7 @@ let test_dimvect_respects_levels () =
       {
         Embed.k = 3;
         policy = Embed.Dimvect dimvect;
-        max_work = Some 100_000;
-        work_counter = ref 0;
+        budget = Budget.create ~max_work:100_000 ();
         output_constraints = [];
       }
   with
@@ -66,25 +64,25 @@ let test_dimvect_respects_levels () =
       Alcotest.(check int) "level-2 face used" 2 (Face.level 3 faces.(id))
   | Embed.Unsat | Embed.Exhausted -> Alcotest.fail "dimvect solve failed"
 
-let test_work_counter_shared () =
+let test_budget_shared () =
   let gs = groups [ "110000"; "011000"; "001100"; "000110"; "000011" ] in
   let poset = Input_poset.build ~num_states:6 gs in
-  let counter = ref 0 in
+  let budget = Budget.create ~max_work:1_000_000 () in
   let run () =
     ignore
       (Embed.solve poset
          {
            Embed.k = 3;
            policy = Embed.Fixed_min;
-           max_work = Some 1_000_000;
-           work_counter = counter;
+           budget;
            output_constraints = [];
          })
   in
   run ();
-  let after_one = !counter in
+  let after_one = Budget.spent budget in
   run ();
-  check "counter accumulates across calls" true (!counter > after_one && after_one > 0)
+  check "budget work accumulates across calls" true
+    (Budget.spent budget > after_one && after_one > 0)
 
 let test_budget_zero_exhausts () =
   let gs = groups [ "1100" ] in
@@ -94,8 +92,7 @@ let test_budget_zero_exhausts () =
       {
         Embed.k = 2;
         policy = Embed.Fixed_min;
-        max_work = Some 0;
-        work_counter = ref 0;
+        budget = Budget.create ~max_work:0 ();
         output_constraints = [];
       }
   with
@@ -123,7 +120,7 @@ let suite =
     Alcotest.test_case "flexible subsumes fixed" `Quick test_flexible_superset_of_fixed;
     Alcotest.test_case "flexible on paper instance" `Quick test_flexible_finds_bigger_faces;
     Alcotest.test_case "dimvect respects levels" `Quick test_dimvect_respects_levels;
-    Alcotest.test_case "work counter shared" `Quick test_work_counter_shared;
+    Alcotest.test_case "budget shared across calls" `Quick test_budget_shared;
     Alcotest.test_case "zero budget exhausts" `Quick test_budget_zero_exhausts;
     Alcotest.test_case "ablations smoke" `Quick test_ablations_smoke;
   ]

@@ -9,6 +9,11 @@
 
 let check = Alcotest.(check bool)
 
+let encode_exn m algo =
+  match Harness.Driver.encode m algo with
+  | Ok o -> o.Harness.Driver.encoding
+  | Error e -> Alcotest.failf "encode failed: %s" (Nova_error.to_string e)
+
 let machines =
   List.concat_map
     (fun seed ->
@@ -46,7 +51,7 @@ let test_trace_equivalence () =
       List.iter
         (fun algo ->
           let name = Printf.sprintf "%s/%s" m.Fsm.name (Harness.Driver.name algo) in
-          let e = Harness.Driver.encode m algo in
+          let e = encode_exn m algo in
           check (name ^ " injective") true (injective e);
           check_equivalent name m e)
         algos;
@@ -54,7 +59,7 @@ let test_trace_equivalence () =
          to the small machines. *)
       if Fsm.num_states ~m <= 6 then begin
         let name = m.Fsm.name ^ "/iexact" in
-        let e = Harness.Driver.encode m Harness.Driver.Iexact in
+        let e = encode_exn m Harness.Driver.Iexact in
         check (name ^ " injective") true (injective e);
         check_equivalent name m e
       end)

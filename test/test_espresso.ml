@@ -24,7 +24,7 @@ let test_minimize_or () =
         cube dom [ [ 1 ]; [ 1 ] ];
       ]
   in
-  let m = Espresso.minimize ~on ~dc:(Cover.empty dom) in
+  let m = Espresso.minimize ~dc:(Cover.empty dom) on in
   check "equivalent" true (Cover.equivalent m on);
   check "at most 2 cubes" true (Cover.size m <= 2)
 
@@ -39,7 +39,7 @@ let test_minimize_tautology () =
         cube dom [ [ 1 ]; [ 1 ] ];
       ]
   in
-  let m = Espresso.minimize ~on ~dc:(Cover.empty dom) in
+  let m = Espresso.minimize ~dc:(Cover.empty dom) on in
   Alcotest.(check int) "single full cube" 1 (Cover.size m);
   check "it is the full cube" true (Cube.is_full dom (List.hd m.Cover.cubes))
 
@@ -49,14 +49,14 @@ let test_minimize_with_dc () =
   let dom = dom_bb in
   let on = Cover.make dom [ cube dom [ [ 0 ]; [ 1 ] ]; cube dom [ [ 1 ]; [ 0 ] ] ] in
   let dc = Cover.make dom [ cube dom [ [ 1 ]; [ 1 ] ] ] in
-  let m = Espresso.minimize ~on ~dc in
+  let m = Espresso.minimize ~dc on in
   check "covers on-set" true (Cover.covers m on);
   check "within on+dc" true (Cover.covers (Cover.union on dc) m);
   check "no more cubes than before" true (Cover.size m <= 2)
 
 let test_minimize_empty () =
   let dom = dom_bb in
-  let m = Espresso.minimize ~on:(Cover.empty dom) ~dc:(Cover.empty dom) in
+  let m = Espresso.minimize ~dc:(Cover.empty dom) (Cover.empty dom) in
   Alcotest.(check int) "empty stays empty" 0 (Cover.size m)
 
 let test_expand_primality () =
@@ -115,7 +115,7 @@ let prop_minimize_sound =
     (fun (sizes, on_cubes, dc_cubes) ->
       let dom = Domain.create (Array.of_list sizes) in
       let on = Cover.make dom on_cubes and dc = Cover.make dom dc_cubes in
-      let m = Espresso.minimize ~on ~dc in
+      let m = Espresso.minimize ~dc on in
       (* When on and dc overlap, the overlap may be dropped, so the lower
          bound is on ⊆ result ∪ dc. *)
       Cover.covers (Cover.union m dc) on && Cover.covers (Cover.union on dc) m)
@@ -125,7 +125,7 @@ let prop_minimize_no_growth =
     (fun (sizes, on_cubes, dc_cubes) ->
       let dom = Domain.create (Array.of_list sizes) in
       let on = Cover.make dom on_cubes and dc = Cover.make dom dc_cubes in
-      let m = Espresso.minimize ~on ~dc in
+      let m = Espresso.minimize ~dc on in
       Cover.size m <= Cover.size (Cover.single_cube_containment on))
 
 let prop_expand_preserves =
@@ -173,7 +173,7 @@ let test_pla_parse_errors () =
 let test_pla_roundtrip_minimize () =
   (* parse → minimize → print → parse again → equivalent *)
   let p = Pla.parse ".i 3\n.o 1\n000 1\n001 1\n010 1\n011 1\n110 1\n.e\n" in
-  let m = Espresso.minimize ~on:p.Pla.on ~dc:p.Pla.dc in
+  let m = Espresso.minimize ~dc:p.Pla.dc p.Pla.on in
   let text = Pla.to_string m ~num_binary_vars:3 in
   let p2 = Pla.parse text in
   check "roundtrip equivalent" true (Cover.equivalent p2.Pla.on p.Pla.on)
@@ -190,7 +190,7 @@ let prop_minimize_care_sound =
              (fun c -> (Cover.complement_within off0 ~space:c).Cover.cubes)
              on0.Cover.cubes)
       in
-      let m = Espresso.minimize_care ~on ~off:off0 in
+      let m = Espresso.minimize_care ~off:off0 on in
       Cover.covers m on
       && List.for_all
            (fun c -> not (List.exists (fun o -> Cube.intersects dom c o) off0.Cover.cubes))
@@ -206,7 +206,7 @@ let prop_minimize_care_no_growth =
              (fun c -> (Cover.complement_within off ~space:c).Cover.cubes)
              on_cubes)
       in
-      Cover.size (Espresso.minimize_care ~on ~off)
+      Cover.size (Espresso.minimize_care ~off on)
       <= Cover.size (Cover.single_cube_containment on))
 
 let suite =

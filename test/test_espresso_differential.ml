@@ -110,7 +110,7 @@ let test_minimize_against_truth_table () =
     let dom = random_domain rng in
     let on = random_cover rng dom ~max_cubes:5 in
     let dc = random_cover rng dom ~max_cubes:2 in
-    let m = Espresso.minimize ~on ~dc in
+    let m = Espresso.minimize ~dc on in
     List.iter
       (fun mt ->
         let in_on = Cover.contains_minterm on mt in
@@ -139,7 +139,7 @@ let test_minimize_care_against_truth_table () =
         minterms
     in
     let off = Cover.make dom (List.map (Cube.of_minterm dom) off_minterms) in
-    let m = Espresso.minimize_care ~on ~off in
+    let m = Espresso.minimize_care ~off on in
     List.iter
       (fun mt ->
         let ctx = Printf.sprintf "case %d" i in

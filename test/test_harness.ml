@@ -42,7 +42,7 @@ let test_flow_caching () =
   let f1 = Harness.Flow.get "lion" in
   let f2 = Harness.Flow.get "lion" in
   check "same flow object" true (f1 == f2);
-  let e = Lazy.force f1.Harness.Flow.one_hot in
+  let e = Stage.force f1.Harness.Flow.one_hot in
   let r1 = Harness.Flow.implement f1 e in
   let r2 = Harness.Flow.implement f1 e in
   check "implement cached" true (r1 == r2)
@@ -52,9 +52,9 @@ let test_flow_best_consistency () =
   let best = Harness.Flow.nova_best f in
   let area_best = Harness.Flow.area_of f best in
   check "nova best no worse than ihybrid" true
-    (area_best <= Harness.Flow.area_of f (Lazy.force f.Harness.Flow.ihybrid).Ihybrid.encoding);
+    (area_best <= Harness.Flow.area_of f (Stage.force f.Harness.Flow.ihybrid).Ihybrid.encoding);
   check "nova best no worse than igreedy" true
-    (area_best <= Harness.Flow.area_of f (Lazy.force f.Harness.Flow.igreedy).Igreedy.encoding);
+    (area_best <= Harness.Flow.area_of f (Stage.force f.Harness.Flow.igreedy).Igreedy.encoding);
   let rb, ra = Harness.Flow.random_best_avg f in
   check "best <= avg" true (rb <= ra)
 

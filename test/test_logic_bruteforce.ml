@@ -100,7 +100,7 @@ let prop_minimize_bruteforce =
   QCheck.Test.make ~name:"espresso preserves minterm set (brute force)" ~count:100 gen_cover
     (fun input ->
       let dom, f = build input in
-      let m = Espresso.minimize ~on:f ~dc:(Cover.empty dom) in
+      let m = Espresso.minimize ~dc:(Cover.empty dom) f in
       minterm_set dom m = minterm_set dom f)
 
 let prop_num_minterms_bruteforce =

@@ -26,4 +26,5 @@ let () =
       ("espresso-differential", Test_espresso_differential.suite);
       ("encode-differential", Test_encode_differential.suite);
       ("regression-counts", Test_regression_counts.suite);
+      ("pipeline", Test_pipeline.suite);
     ]

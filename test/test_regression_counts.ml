@@ -38,8 +38,9 @@ let test_ihybrid_counts () =
   List.iter
     (fun (nm, _, ihybrid_pin) ->
       let m = Benchmarks.Suite.find nm in
-      let _, r = Harness.Driver.report m Harness.Driver.Ihybrid in
-      check_le (nm ^ "/ihybrid") ihybrid_pin r.Encoded.num_cubes)
+      match Harness.Driver.report m Harness.Driver.Ihybrid with
+      | Error e -> Alcotest.failf "%s: %s" nm (Nova_error.to_string e)
+      | Ok (_, r) -> check_le (nm ^ "/ihybrid") ihybrid_pin r.Encoded.num_cubes)
     pins
 
 let suite =

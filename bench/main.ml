@@ -249,6 +249,59 @@ let run_pipeline ~quick () =
   close_out oc;
   Format.printf "wrote BENCH_pipeline.json@."
 
+(* --- certification benchmark → BENCH_check.json ------------------------ *)
+
+(* Per machine × constraint-driven algorithm: run the pipeline, certify
+   the result with the independent checker, and record the verdict plus
+   the per-check spans. Every row is expected to certify clean — a
+   [false] in [ok] is a correctness regression, not a slow run. *)
+
+let check_algorithms =
+  [ Harness.Driver.Ihybrid; Harness.Driver.Igreedy; Harness.Driver.Iohybrid; Harness.Driver.Iexact ]
+
+let check_bench_one (m : Fsm.t) algo =
+  (* iexact is exponential: the same work budget Flow uses keeps it
+     bounded (the fallback ladder still certifies whatever rung
+     produced the encoding). *)
+  let budget = Budget.create ~max_work:400_000 () in
+  match Harness.Driver.report ~budget m algo with
+  | Error err ->
+      Format.printf "%-12s %-10s FAILED: %s@." m.Fsm.name (Harness.Driver.name algo)
+        (Nova_error.to_string err);
+      Printf.sprintf "{\"name\":\"%s\",\"algorithm\":\"%s\",\"error\":\"%s\"}" m.Fsm.name
+        (Harness.Driver.name algo)
+        (json_escape (Nova_error.to_string err))
+  | Ok (o, r) ->
+      let cert = Harness.Certify.run m o r in
+      let total_span =
+        List.fold_left (fun acc (c : Check.outcome) -> acc +. c.Check.span_s) 0. cert.Check.checks
+      in
+      Format.printf "%-12s %-10s %-4s checks=%d span=%8.4fs produced_by=%s@." m.Fsm.name
+        (Harness.Driver.name algo)
+        (if cert.Check.ok then "OK" else "FAIL")
+        (List.length cert.Check.checks)
+        total_span
+        (Harness.Driver.rung_name o.Harness.Driver.produced_by);
+      Printf.sprintf
+        "{\"name\":\"%s\",\"algorithm\":\"%s\",\"produced_by\":\"%s\",\"certificate\":%s}"
+        m.Fsm.name (Harness.Driver.name algo)
+        (Harness.Driver.rung_name o.Harness.Driver.produced_by)
+        (Check.to_json cert)
+
+let run_check ~quick () =
+  Format.printf "@.== certification benchmark (%s) ==@." (if quick then "quick" else "full");
+  let rows =
+    List.concat_map
+      (fun m -> List.map (fun algo -> check_bench_one m algo) check_algorithms)
+      (espresso_bench_machines ~quick)
+  in
+  let oc = open_out "BENCH_check.json" in
+  Printf.fprintf oc "{\"schema\":\"nova-bench-check/v1\",\"mode\":\"%s\",\"runs\":[%s]}\n"
+    (if quick then "quick" else "full")
+    (String.concat "," rows);
+  close_out oc;
+  Format.printf "wrote BENCH_check.json@."
+
 let run_bechamel () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -291,6 +344,7 @@ let () =
     | "ablations" -> Harness.Ablations.all ~quick ppf ()
     | "espresso" -> run_espresso ~quick ()
     | "pipeline" -> run_pipeline ~quick ()
+    | "check" -> run_check ~quick ()
     | "bechamel" -> run_bechamel ()
     | other -> Format.eprintf "unknown table %S@." other
   in
@@ -300,6 +354,7 @@ let () =
       Harness.Ablations.all ~quick ppf ();
       run_espresso ~quick ();
       run_pipeline ~quick ();
+      run_check ~quick ();
       if not no_bechamel then run_bechamel ()
   | picks -> List.iter dispatch picks);
   Format.pp_print_flush ppf ()

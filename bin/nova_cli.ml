@@ -11,7 +11,8 @@
      nova gen --states 80 --rows 400 (emit a synthetic stress machine)
 
    Exit codes (see Nova_error.exit_code): 0 success, 2 parse error,
-   3 budget exhausted, 4 infeasible, 5 invalid request. *)
+   3 budget exhausted, 4 infeasible, 5 invalid request,
+   6 certification failed. *)
 
 open Cmdliner
 
@@ -174,6 +175,27 @@ let no_fallback_arg =
   let doc = "Disable the fallback ladder (same as $(b,--fallback=false))." in
   Arg.(value & flag & info [ "no-fallback" ] ~doc)
 
+let certify_arg =
+  let doc =
+    "Re-verify the result with the independent certificate layer (injectivity, code length, \
+     face constraints, output covering, cover containment, trace equivalence) and print a \
+     per-check report. A failed certificate exits with code 6."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let inject_arg =
+  let doc =
+    "Inject a fault of the given class into the artifacts before certifying (implies \
+     $(b,--certify)): "
+    ^ String.concat ", " (List.map Check.Inject.name Check.Inject.all)
+    ^ ". For exercising the checker; a genuine injection must make certification fail."
+  in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"CLASS" ~doc)
+
+let quiet_arg =
+  let doc = "Suppress fallback-degradation warnings on stderr." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
 let budget_of budget_ms max_work =
   match (budget_ms, max_work) with
   | None, None -> Budget.unlimited
@@ -191,8 +213,45 @@ let driver_algo_of algo seed =
   | A_random -> Harness.Driver.Random seed
   | A_mustang (flavor, include_outputs) -> Harness.Driver.Mustang (flavor, include_outputs)
 
-let encode algo bits seed pla instrument budget_ms max_work fallback no_fallback path =
+(* Certify the report (optionally after injecting a fault), print the
+   per-check lines, and return the process exit code. *)
+let certify_and_report m outcome r inject =
+  let artifacts = Harness.Certify.artifacts_of outcome r in
+  let injected =
+    match inject with
+    | None -> Ok artifacts
+    | Some cls -> (
+        match Check.Inject.of_name cls with
+        | None ->
+            Error (Nova_error.Invalid_request (Printf.sprintf "unknown fault class %S" cls))
+        | Some fault -> (
+            match Check.Inject.apply m artifacts fault with
+            | Some a -> Ok a
+            | None ->
+                Error
+                  (Nova_error.Invalid_request
+                     (Printf.sprintf "no genuine %s fault exists for machine %s" cls m.Fsm.name))))
+  in
+  match injected with
+  | Error err -> fail_with err
+  | Ok artifacts -> (
+      let cert = Check.certify m artifacts in
+      List.iter
+        (fun (o : Check.outcome) ->
+          Printf.printf "  [%s] %-16s %7.3fs%s\n"
+            (if o.Check.pass then "PASS" else "FAIL")
+            (Check.check_name o.Check.id) o.Check.span_s
+            (if o.Check.detail = "" then "" else "  " ^ o.Check.detail))
+        cert.Check.checks;
+      Printf.printf "%s\n" (Check.summary cert);
+      match Harness.Certify.error_of ~machine:m.Fsm.name cert with
+      | None -> 0
+      | Some err -> fail_with err)
+
+let encode algo bits seed pla instrument budget_ms max_work fallback no_fallback certify inject
+    quiet path =
   if instrument then Instrument.enable ();
+  if quiet then Harness.Driver.quiet := true;
   with_machine path @@ fun m ->
   let n = Fsm.num_states ~m in
   let budget = budget_of budget_ms max_work in
@@ -201,15 +260,13 @@ let encode algo bits seed pla instrument budget_ms max_work fallback no_fallback
   | Error err -> fail_with err
   | Ok (outcome, r) ->
       let encoding = outcome.Harness.Driver.encoding in
-      List.iter
-        (fun (rung, err) ->
-          Printf.eprintf "nova: %s rung degraded: %s\n"
-            (Harness.Driver.rung_name rung)
-            (Nova_error.to_string err))
-        outcome.Harness.Driver.degradations;
-      if outcome.Harness.Driver.degradations <> [] then
-        Printf.eprintf "nova: encoding produced by fallback rung %s\n"
-          (Harness.Driver.rung_name outcome.Harness.Driver.produced_by);
+      if not quiet then
+        List.iter
+          (fun (rung, err) ->
+            Printf.eprintf "nova: %s rung degraded: %s\n"
+              (Harness.Driver.rung_name rung)
+              (Nova_error.to_string err))
+          outcome.Harness.Driver.degradations;
       Printf.printf "machine %s: %d states encoded in %d bits\n" m.Fsm.name n
         encoding.Encoding.nbits;
       Array.iteri
@@ -225,15 +282,19 @@ let encode algo bits seed pla instrument budget_ms max_work fallback no_fallback
       if pla then
         Pla.print Format.std_formatter r.Encoded.cover
           ~num_binary_vars:(m.Fsm.num_inputs + encoding.Encoding.nbits);
+      let code =
+        if certify || inject <> None then certify_and_report m outcome r inject else 0
+      in
       if instrument || Instrument.enabled () then Instrument.report Format.err_formatter ();
-      0
+      code
 
 let encode_cmd =
   Cmd.v
     (Cmd.info "encode" ~doc:"Encode a machine's states and report the implementation.")
     Term.(
       const encode $ algo_arg $ bits_arg $ seed_arg $ pla_arg $ instrument_arg $ budget_ms_arg
-      $ max_work_arg $ fallback_arg $ no_fallback_arg $ machine_arg)
+      $ max_work_arg $ fallback_arg $ no_fallback_arg $ certify_arg $ inject_arg $ quiet_arg
+      $ machine_arg)
 
 (* --- minstates -------------------------------------------------------------- *)
 

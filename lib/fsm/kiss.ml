@@ -5,9 +5,12 @@ exception Parse_error of error
 let error_to_string e =
   Printf.sprintf "%s:%d:%d: %s" e.file e.line e.col e.msg
 
+(* ' ', '\t' and '\r' all separate: the latter so CRLF files parse
+   instead of dying on an invisible trailing '\r'. *)
 let split_words line =
   String.split_on_char ' ' line
   |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
   |> List.filter (fun w -> w <> "")
 
 (* 1-based column of the first occurrence of word [w] in [raw]; 0 when

@@ -38,7 +38,11 @@ let outputs_agree spec actual =
     spec;
   !ok
 
-let check_step (m : Fsm.t) e enc cover s input =
+(* One comparison step of the don't-care policy documented in the mli:
+   unspecified behaviour (no matching row, [dst = None], output ['-'])
+   never counts as a mismatch. *)
+let check_step (enc : Encoded.t) cover s input =
+  let m = enc.Encoded.machine and e = enc.Encoded.encoding in
   match Fsm.next m ~input ~src:s with
   | None -> None
   | Some (dst, out) -> (
@@ -53,10 +57,9 @@ let check_step (m : Fsm.t) e enc cover s input =
           if outputs_agree out outputs then None
           else bad (Printf.sprintf "outputs disagree with %s" out))
 
-let check_encoding (m : Fsm.t) e =
-  if m.Fsm.num_inputs > 16 then invalid_arg "Simulate.check_encoding: too many inputs";
-  let enc = Encoded.build m e in
-  let cover = Encoded.minimize enc in
+let check_cover (enc : Encoded.t) cover =
+  let m = enc.Encoded.machine in
+  if m.Fsm.num_inputs > 16 then invalid_arg "Simulate.check_cover: too many inputs";
   let n = Array.length m.Fsm.states in
   let verdict = ref Equivalent in
   for s = 0 to n - 1 do
@@ -65,7 +68,7 @@ let check_encoding (m : Fsm.t) e =
         let input =
           String.init m.Fsm.num_inputs (fun i -> if v land (1 lsl i) <> 0 then '1' else '0')
         in
-        match check_step m e enc cover s input with
+        match check_step enc cover s input with
         | Some bad -> verdict := bad
         | None -> ()
       end
@@ -73,9 +76,8 @@ let check_encoding (m : Fsm.t) e =
   done;
   !verdict
 
-let check_encoding_sampled rng (m : Fsm.t) e ~traces ~length =
-  let enc = Encoded.build m e in
-  let cover = Encoded.minimize enc in
+let check_cover_sampled rng (enc : Encoded.t) cover ~traces ~length =
+  let m = enc.Encoded.machine in
   let start = Option.value m.Fsm.reset ~default:0 in
   let verdict = ref Equivalent in
   for _ = 1 to traces do
@@ -86,7 +88,7 @@ let check_encoding_sampled rng (m : Fsm.t) e ~traces ~length =
           match !s with
           | None -> ()
           | Some cur -> (
-              (match check_step m e enc cover cur input with
+              (match check_step enc cover cur input with
               | Some bad -> verdict := bad
               | None -> ());
               match Fsm.next m ~input ~src:cur with
@@ -96,3 +98,11 @@ let check_encoding_sampled rng (m : Fsm.t) e ~traces ~length =
     end
   done;
   !verdict
+
+let check_encoding (m : Fsm.t) e =
+  let enc = Encoded.build m e in
+  check_cover enc (Encoded.minimize enc)
+
+let check_encoding_sampled rng (m : Fsm.t) e ~traces ~length =
+  let enc = Encoded.build m e in
+  check_cover_sampled rng enc (Encoded.minimize enc) ~traces ~length

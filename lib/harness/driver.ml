@@ -95,12 +95,30 @@ type outcome = {
   algorithm : algorithm;
   produced_by : rung;
   degradations : (rung * Nova_error.t) list;
+  claims : Check.claims;
 }
+
+let quiet = ref false
+
+let degradation_warning o =
+  match o.degradations with
+  | [] -> None
+  | ds ->
+      let why =
+        match List.rev ds with (_, first_error) :: _ -> Nova_error.to_string first_error | [] -> ""
+      in
+      Some
+        (Printf.sprintf "nova: warning: %s degraded to %s (%s)" (name o.algorithm)
+           (rung_name o.produced_by) why)
 
 let why budget = Option.value (Budget.reason budget) ~default:Budget.Work
 
 let groups_of ics =
   List.map (fun (ic : Constraints.input_constraint) -> ic.Constraints.states) ics
+
+(* What each rung may claim to the certificate layer: only the
+   constraints it actually reports satisfied, never "everything". *)
+let ic_claims ics = { Check.claimed_ics = groups_of ics; claimed_ocs = [] }
 
 (* The [project] rung: last resort of the iexact ladder. Start from the
    identity encoding at the minimum length and project into extra
@@ -127,7 +145,7 @@ let project_rung ~budget ~num_states ics =
     ric := still;
     incr nbits
   done;
-  if !ric = [] then Ok (encoding ())
+  if !ric = [] then Ok (encoding (), ic_claims !sic)
   else if Budget.exhausted budget then
     Error (Nova_error.Budget_exhausted { stage = Nova_error.Project; reason = why budget })
   else
@@ -147,12 +165,13 @@ let run_rung ~budget ~bits ~num_states ~ics ~problem (m : Fsm.t) algo rung =
     match rung with
     | Rung_iexact -> (
         match Iexact.iexact_code ~num_states ~budget (groups_of (Lazy.force ics)) with
-        | Iexact.Sat { k; codes; _ } -> Ok (Encoding.make ~nbits:k codes)
+        | Iexact.Sat { k; codes; _ } ->
+            Ok (Encoding.make ~nbits:k codes, ic_claims (Lazy.force ics))
         | Iexact.Exhausted -> exhausted (why budget))
     | Rung_semiexact -> (
         let k = max (Fsm.min_code_length m) (Option.value bits ~default:0) in
         match Iexact.semiexact_code ~num_states ~k ~budget (groups_of (Lazy.force ics)) with
-        | Some codes -> Ok (Encoding.make ~nbits:k codes)
+        | Some codes -> Ok (Encoding.make ~nbits:k codes, ic_claims (Lazy.force ics))
         | None ->
             if Budget.exhausted budget then exhausted (why budget)
             else
@@ -167,26 +186,42 @@ let run_rung ~budget ~bits ~num_states ~ics ~problem (m : Fsm.t) algo rung =
     | Rung_ihybrid ->
         let r = Ihybrid.ihybrid_code ~num_states ?nbits:bits ~budget (Lazy.force ics) in
         if r.Ihybrid.random_start && Budget.exhausted budget then exhausted (why budget)
-        else Ok r.Ihybrid.encoding
+        else Ok (r.Ihybrid.encoding, ic_claims r.Ihybrid.satisfied)
     | Rung_igreedy ->
-        Ok (Igreedy.igreedy_code ~num_states ?nbits:bits ~budget (Lazy.force ics)).Igreedy.encoding
+        let r = Igreedy.igreedy_code ~num_states ?nbits:bits ~budget (Lazy.force ics) in
+        Ok (r.Igreedy.encoding, ic_claims r.Igreedy.satisfied)
     | Rung_iohybrid | Rung_iovariant ->
         let code = if rung = Rung_iohybrid then Iohybrid.iohybrid_code else Iohybrid.iovariant_code in
         let r = code ?nbits:bits ~budget (Lazy.force problem) in
         if r.Iohybrid.random_start && Budget.exhausted budget then exhausted (why budget)
-        else Ok r.Iohybrid.encoding
-    | Rung_kiss -> Ok (Baselines.kiss_encode ~num_states (Lazy.force ics))
+        else
+          Ok
+            ( r.Iohybrid.encoding,
+              {
+                Check.claimed_ics = groups_of r.Iohybrid.sat_inputs;
+                claimed_ocs =
+                  List.concat_map
+                    (fun (cl : Constraints.oc_cluster) ->
+                      List.map
+                        (fun (oc : Constraints.output_constraint) ->
+                          (oc.Constraints.covering, oc.Constraints.covered))
+                        cl.Constraints.edges)
+                    r.Iohybrid.sat_clusters;
+              } )
+    | Rung_kiss -> Ok (Baselines.kiss_encode ~num_states (Lazy.force ics), Check.no_claims)
     | Rung_mustang ->
         let flavor, include_outputs =
           match algo with Mustang (f, o) -> (f, o) | _ -> (Baselines.Fanout, true)
         in
         let nbits = Option.value bits ~default:(Fsm.min_code_length m) in
-        Ok (Baselines.mustang_encode m ~flavor ~include_outputs ~nbits)
-    | Rung_one_hot -> Ok (Encoding.one_hot num_states)
+        Ok (Baselines.mustang_encode m ~flavor ~include_outputs ~nbits, Check.no_claims)
+    | Rung_one_hot -> Ok (Encoding.one_hot num_states, Check.no_claims)
     | Rung_random ->
         let seed = match algo with Random s -> s | _ -> 0 in
         let nbits = Option.value bits ~default:(Fsm.min_code_length m) in
-        Ok (Encoding.random (Random.State.make [| seed |]) ~num_states ~nbits)
+        Ok
+          ( Encoding.random (Random.State.make [| seed |]) ~num_states ~nbits,
+            Check.no_claims )
   with
   | Invalid_argument msg -> Error (Nova_error.Infeasible { stage; msg })
   | Budget.Out_of_budget reason -> Error (Nova_error.Budget_exhausted { stage; reason })
@@ -219,8 +254,14 @@ let encode ?bits ?(budget = Budget.unlimited) ?(fallback = true) (m : Fsm.t) alg
           Instrument.time timer (fun () ->
               run_rung ~budget ~bits ~num_states ~ics ~problem m algo rung)
         with
-        | Ok encoding ->
-            Ok { encoding; algorithm = algo; produced_by = rung; degradations = List.rev degraded }
+        | Ok (encoding, claims) ->
+            let o =
+              { encoding; algorithm = algo; produced_by = rung; degradations = List.rev degraded;
+                claims }
+            in
+            (if not !quiet then
+               match degradation_warning o with Some w -> prerr_endline w | None -> ());
+            Ok o
         | Error err -> descend ((rung, err) :: degraded) rest)
   in
   descend [] (ladder ~fallback algo)

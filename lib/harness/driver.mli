@@ -58,7 +58,22 @@ type outcome = {
   degradations : (rung * Nova_error.t) list;
       (** rungs tried before [produced_by], in order, each with why it
           failed; empty when the primary rung succeeded *)
+  claims : Check.claims;
+      (** what the producing rung reports satisfied — input-constraint
+          groups and covering pairs the certificate layer re-verifies;
+          baselines claim nothing *)
 }
+
+(** When [false] (the default), {!encode} prints a one-line warning to
+    stderr every time the fallback ladder degrades past the primary rung,
+    so silent quality loss is loud by default. The CLI's [--quiet] flag
+    sets it. *)
+val quiet : bool ref
+
+(** [degradation_warning o] is the warning line {!encode} prints for a
+    degraded outcome ([None] when the primary rung succeeded). Exposed so
+    tests can assert on the exact text without scraping stderr. *)
+val degradation_warning : outcome -> string option
 
 (** [encode ?bits ?budget ?fallback machine algo] runs the algorithm.
     [bits] overrides the code length where the algorithm accepts one.

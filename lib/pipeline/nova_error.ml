@@ -18,6 +18,7 @@ type t =
   | Parse_error of { file : string; line : int; col : int; msg : string }
   | Infeasible of { stage : stage; msg : string }
   | Invalid_request of string
+  | Certification_failed of { machine : string; failed : string list }
 
 let stage_name = function
   | Parse -> "parse"
@@ -45,6 +46,8 @@ let to_string = function
   | Parse_error { file; line; col; msg } -> Printf.sprintf "%s:%d:%d: %s" file line col msg
   | Infeasible { stage; msg } -> Printf.sprintf "%s: infeasible: %s" (stage_name stage) msg
   | Invalid_request msg -> Printf.sprintf "invalid request: %s" msg
+  | Certification_failed { machine; failed } ->
+      Printf.sprintf "certification failed on %s: %s" machine (String.concat ", " failed)
 
 (* One exit code per constructor, so scripts can tell failure modes
    apart. 1 is cmdliner's own; 124/125 are reserved by it too. *)
@@ -53,3 +56,4 @@ let exit_code = function
   | Budget_exhausted _ -> 3
   | Infeasible _ -> 4
   | Invalid_request _ -> 5
+  | Certification_failed _ -> 6

@@ -32,6 +32,9 @@ type t =
           constraints at the requested length, cyclic covering
           relations, ...) *)
   | Invalid_request of string  (** the request itself is malformed *)
+  | Certification_failed of { machine : string; failed : string list }
+      (** the independent certificate layer ([Check]) rejected a pipeline
+          result: [failed] names the checks that did not pass *)
 
 val stage_name : stage -> string
 val reason_name : Budget.reason -> string
@@ -40,5 +43,6 @@ val reason_name : Budget.reason -> string
 val to_string : t -> string
 
 (** [exit_code e] is the CLI exit code for [e]: 2 parse, 3 budget,
-    4 infeasible, 5 invalid request (distinct per constructor). *)
+    4 infeasible, 5 invalid request, 6 certification failure (distinct
+    per constructor). *)
 val exit_code : t -> int

@@ -1,8 +1,10 @@
 #!/bin/sh
 # CI entry point: build everything, run the full test suite (unit +
 # property + randomized differential), smoke the CLI's exit-code
-# contract, stress the deadline/fallback path on a large generated
-# machine, then smoke the benchmark JSON emitters.
+# contract, certify suite machines with the independent checker (and
+# prove the checker catches injected faults), stress the
+# deadline/fallback path on a large generated machine, then smoke the
+# benchmark JSON emitters.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,6 +36,20 @@ echo "  budget exhausted (--no-fallback): exit 3 ok"
 $NOVA encode -a iexact --max-work 10 test/cli/good.kiss2 > /dev/null 2>/dev/null
 echo "  budget exhausted + fallback: exit 0 ok"
 
+echo "== certify smoke: suite machines under the independent checker =="
+for machine in lion dk16; do
+  $NOVA encode -a ihybrid --certify "$machine" > /dev/null
+  echo "  certify $machine (ihybrid): exit 0 ok"
+done
+
+echo "== fault-injection smoke: injected faults must exit 6 =="
+for fault in duplicate-code drop-cube bogus-ic-claim; do
+  rc=0; $NOVA encode -a ihybrid --certify --inject "$fault" lion \
+    > /dev/null 2>&1 || rc=$?
+  [ "$rc" -eq 6 ] || { echo "inject $fault: expected exit 6, got $rc"; exit 1; }
+  echo "  inject $fault: exit 6 ok"
+done
+
 echo "== deadline stress: 50ms budget on a large generated machine =="
 $NOVA gen -s 80 -p 400 -i 8 -o 8 > "$TMP/big.kiss2"
 # Must terminate promptly (the fallback ladder catches the deadline) —
@@ -46,5 +62,8 @@ dune exec bench/main.exe -- --quick espresso
 
 echo "== bench smoke (quick pipeline) =="
 dune exec bench/main.exe -- --quick pipeline
+
+echo "== bench smoke (quick certification) =="
+dune exec bench/main.exe -- --quick check
 
 echo "CI OK"

@@ -1,0 +1,99 @@
+(* Fuzzing the KISS2 parser: whatever bytes arrive, [Kiss.parse_result]
+   must return [Ok] or a located [Error] — never let an exception
+   escape, never crash. Mutations are seeded from real machines so the
+   fuzz walks the interesting boundary between valid and broken input
+   rather than pure noise. *)
+
+let valid_text () = Kiss.to_string (Benchmarks.Suite.find "lion")
+
+(* [Ok _ | Error _] without raising; errors must carry a sane location
+   (line 0 is the "whole file" pseudo-location used for missing
+   declarations). *)
+let parses_totally text =
+  match Kiss.parse_result ~name:"fuzz" ~file:"fuzz.kiss2" text with
+  | Ok _ -> true
+  | Error { Kiss.line; col; msg; _ } ->
+      let lines = List.length (String.split_on_char '\n' text) in
+      line >= 0 && line <= lines && col >= 0 && msg <> ""
+  | exception e ->
+      Printf.eprintf "escaped exception: %s\n" (Printexc.to_string e);
+      false
+
+let gen_garbage =
+  QCheck.string_gen_of_size (QCheck.Gen.int_bound 400) QCheck.Gen.printable
+
+let prop_garbage_never_raises =
+  QCheck.Test.make ~name:"garbage input yields Ok or located Error" ~count:500 gen_garbage
+    parses_totally
+
+let gen_bytes =
+  QCheck.string_gen_of_size (QCheck.Gen.int_bound 400) QCheck.Gen.char
+
+let prop_bytes_never_raises =
+  QCheck.Test.make ~name:"arbitrary bytes yield Ok or located Error" ~count:500 gen_bytes
+    parses_totally
+
+let prop_truncation_never_raises =
+  QCheck.Test.make ~name:"every truncation of a valid file is handled" ~count:1
+    QCheck.unit
+    (fun () ->
+      let text = valid_text () in
+      let ok = ref true in
+      for len = 0 to String.length text do
+        if not (parses_totally (String.sub text 0 len)) then ok := false
+      done;
+      !ok)
+
+let prop_mutation_never_raises =
+  QCheck.Test.make ~name:"single-byte mutations of a valid file are handled" ~count:500
+    QCheck.(pair small_nat printable_char)
+    (fun (pos, ch) ->
+      let text = valid_text () in
+      let text = Bytes.of_string text in
+      let pos = pos mod Bytes.length text in
+      Bytes.set text pos ch;
+      parses_totally (Bytes.to_string text))
+
+let prop_line_deletion_never_raises =
+  QCheck.Test.make ~name:"dropping any one line of a valid file is handled" ~count:1
+    QCheck.unit
+    (fun () ->
+      let lines = String.split_on_char '\n' (valid_text ()) in
+      List.for_all
+        (fun drop ->
+          let kept = List.filteri (fun i _ -> i <> drop) lines in
+          parses_totally (String.concat "\n" kept))
+        (List.init (List.length lines) (fun i -> i)))
+
+(* Regressions surfaced while auditing the parser for the fuzz suite. *)
+
+let test_crlf_roundtrip () =
+  let crlf =
+    String.concat "\r\n" (String.split_on_char '\n' (valid_text ()))
+  in
+  match Kiss.parse_result ~name:"crlf" crlf with
+  | Ok m -> Alcotest.(check int) "same states" 4 (Fsm.num_states ~m)
+  | Error e -> Alcotest.failf "CRLF file rejected: %s" (Kiss.error_to_string e)
+
+let test_error_locations () =
+  let expect_error text pred =
+    match Kiss.parse_result ~name:"loc" text with
+    | Ok _ -> Alcotest.fail "expected a parse error"
+    | Error e ->
+        if not (pred e) then Alcotest.failf "unexpected location: %s" (Kiss.error_to_string e)
+  in
+  expect_error ".i\n.o 1\n0 a b 1\n" (fun e -> e.Kiss.line = 1);
+  expect_error ".i 1\n.o 1\n0 a b\n" (fun e -> e.Kiss.line = 3);
+  expect_error ".i 1\n.o bogus\n0 a b 1\n" (fun e -> e.Kiss.line = 2 && e.Kiss.col = 4);
+  expect_error "0 a b 1\n" (fun e -> e.Kiss.line = 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_garbage_never_raises;
+    QCheck_alcotest.to_alcotest prop_bytes_never_raises;
+    QCheck_alcotest.to_alcotest prop_truncation_never_raises;
+    QCheck_alcotest.to_alcotest prop_mutation_never_raises;
+    QCheck_alcotest.to_alcotest prop_line_deletion_never_raises;
+    Alcotest.test_case "CRLF files parse" `Quick test_crlf_roundtrip;
+    Alcotest.test_case "error locations are precise" `Quick test_error_locations;
+  ]

@@ -1,4 +1,7 @@
 let () =
+  (* The driver's degradation warnings are exercised (and asserted on)
+     explicitly; keep them from spraying the test log. *)
+  Harness.Driver.quiet := true;
   Alcotest.run "nova"
     [
       ("bitvec", Test_bitvec.suite);
@@ -27,4 +30,6 @@ let () =
       ("encode-differential", Test_encode_differential.suite);
       ("regression-counts", Test_regression_counts.suite);
       ("pipeline", Test_pipeline.suite);
+      ("check", Test_check.suite);
+      ("kiss-fuzz", Test_kiss_fuzz.suite);
     ]

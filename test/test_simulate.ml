@@ -99,9 +99,112 @@ let prop_all_benchmark_encodings_equivalent =
       let e = Encoding.random rng ~num_states:ns ~nbits in
       Simulate.check_encoding m e = Simulate.Equivalent)
 
+(* --- don't-care policy audit (see simulate.mli) ------------------------ *)
+
+(* A present-state '*' row applies in every state, including states with
+   no rows of their own. *)
+let test_star_rows () =
+  let star =
+    Fsm.create ~name:"star" ~num_inputs:1 ~num_outputs:1
+      ~states:[| "a"; "b"; "c" |]
+      ~transitions:
+        [
+          { Fsm.input = "0"; src = Some 0; dst = Some 1; output = "0" };
+          { Fsm.input = "1"; src = None; dst = Some 2; output = "1" };
+        ]
+      ~reset:0 ()
+  in
+  check "star-row machine equivalent" true
+    (Simulate.check_encoding star (Encoding.make ~nbits:2 [| 0; 1; 2 |]) = Simulate.Equivalent)
+
+(* dst = None frees the whole next-state field: any implementation value
+   there must be accepted. *)
+let test_unspecified_next_state () =
+  let holey =
+    Fsm.create ~name:"holey" ~num_inputs:1 ~num_outputs:1
+      ~states:[| "a"; "b" |]
+      ~transitions:
+        [
+          { Fsm.input = "0"; src = Some 0; dst = Some 1; output = "1" };
+          { Fsm.input = "1"; src = Some 0; dst = None; output = "0" };
+          { Fsm.input = "0"; src = Some 1; dst = Some 0; output = "0" };
+        ]
+      ~reset:0 ()
+  in
+  check "unspecified next state is free" true
+    (Simulate.check_encoding holey (Encoding.make ~nbits:1 [| 0; 1 |]) = Simulate.Equivalent)
+
+(* Zero outputs: only the next codes are compared. *)
+let test_zero_output_machine () =
+  let noout =
+    Fsm.create ~name:"noout" ~num_inputs:1 ~num_outputs:0
+      ~states:[| "a"; "b" |]
+      ~transitions:
+        [
+          { Fsm.input = "0"; src = Some 0; dst = Some 1; output = "" };
+          { Fsm.input = "1"; src = Some 0; dst = Some 0; output = "" };
+          { Fsm.input = "0"; src = Some 1; dst = Some 0; output = "" };
+          { Fsm.input = "1"; src = Some 1; dst = Some 1; output = "" };
+        ]
+      ~reset:0 ()
+  in
+  check "zero-output machine equivalent" true
+    (Simulate.check_encoding noout (Encoding.make ~nbits:1 [| 0; 1 |]) = Simulate.Equivalent)
+
+(* Unreachable states are still checked: corrupt the implementation in
+   the unreachable state's region and the exhaustive check must see it,
+   even though no trace from reset ever gets there. *)
+let unreachable_machine out_c =
+  Fsm.create ~name:"unreach" ~num_inputs:1 ~num_outputs:1
+    ~states:[| "a"; "b"; "c" |]
+    ~transitions:
+      [
+        { Fsm.input = "0"; src = Some 0; dst = Some 1; output = "0" };
+        { Fsm.input = "1"; src = Some 0; dst = Some 0; output = "0" };
+        { Fsm.input = "0"; src = Some 1; dst = Some 0; output = "0" };
+        { Fsm.input = "1"; src = Some 1; dst = Some 1; output = "0" };
+        (* state c is unreachable from reset, but its row is specified *)
+        { Fsm.input = "0"; src = Some 2; dst = Some 0; output = out_c };
+        { Fsm.input = "1"; src = Some 2; dst = Some 2; output = out_c };
+      ]
+    ~reset:0 ()
+
+let test_unreachable_states_checked () =
+  let m = unreachable_machine "1" in
+  let e = Encoding.make ~nbits:2 [| 0; 1; 2 |] in
+  check "correct implementation passes" true (Simulate.check_encoding m e = Simulate.Equivalent);
+  (* Implement a machine that differs only in the unreachable state's
+     output, then check the ORIGINAL table against that cover. *)
+  let wrong = unreachable_machine "0" in
+  let enc = Encoded.build m e in
+  let wrong_cover = Encoded.minimize (Encoded.build wrong e) in
+  match Simulate.check_cover enc wrong_cover with
+  | Simulate.Mismatch { state; _ } ->
+      Alcotest.(check int) "mismatch is in the unreachable state" 2 state
+  | Simulate.Equivalent -> Alcotest.fail "corruption of an unreachable state went unnoticed"
+
+(* check_cover takes the artifact as given: a cover missing a cube must
+   be reported even though re-minimizing would mask the damage. *)
+let test_check_cover_takes_artifact () =
+  let e = Encoding.make ~nbits:1 [| 0; 1 |] in
+  let enc = Encoded.build toggler e in
+  let full = Encoded.minimize enc in
+  check "full cover equivalent" true (Simulate.check_cover enc full = Simulate.Equivalent);
+  match full.Logic.Cover.cubes with
+  | [] -> Alcotest.fail "empty minimized cover"
+  | _ :: rest ->
+      let damaged = Logic.Cover.make full.Logic.Cover.dom rest in
+      check "dropped cube detected" true (Simulate.check_cover enc damaged <> Simulate.Equivalent)
+
 let suite =
   [
     Alcotest.test_case "run trace" `Quick test_run_trace;
+    Alcotest.test_case "star rows apply everywhere" `Quick test_star_rows;
+    Alcotest.test_case "unspecified next state is free" `Quick test_unspecified_next_state;
+    Alcotest.test_case "zero-output machines compare next codes" `Quick test_zero_output_machine;
+    Alcotest.test_case "unreachable states still checked" `Quick test_unreachable_states_checked;
+    Alcotest.test_case "check_cover verifies the given artifact" `Quick
+      test_check_cover_takes_artifact;
     Alcotest.test_case "run stops on unspecified" `Quick test_run_stops_on_unspecified;
     Alcotest.test_case "random trace shape" `Quick test_random_trace_shape;
     Alcotest.test_case "check_encoding ok" `Quick test_check_encoding_ok;

@@ -302,6 +302,75 @@ let run_check ~quick () =
   close_out oc;
   Format.printf "wrote BENCH_check.json@."
 
+(* --- parallel executor benchmark → BENCH_parallel.json ----------------- *)
+
+(* The full portfolio (every machine × every algorithm) run three ways:
+   sequentially, on the domain pool, and twice against a fresh cache
+   (cold, then warm). Records the wall-clock speedups and the cache hit
+   rates, and asserts that all three report streams are row-identical —
+   the determinism guarantee, measured rather than assumed. *)
+
+let rows_identical a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Exec.Job.row) (y : Exec.Job.row) ->
+         match (x.Exec.Job.result, y.Exec.Job.result) with
+         | Ok u, Ok v -> Exec.Job.success_equal u v
+         | Error u, Error v -> u = v
+         | _ -> false)
+       a b
+
+let with_temp_cache_dir f =
+  let dir = Filename.temp_file "nova-bench-cache" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let run_parallel ~quick ~jobs () =
+  Format.printf "@.== parallel executor benchmark (%s, %d jobs) ==@."
+    (if quick then "quick" else "full")
+    jobs;
+  let tasks =
+    List.concat_map Exec.Portfolio.tasks_for (espresso_bench_machines ~quick)
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq_rows, seq_wall = timed (fun () -> Exec.Portfolio.run ~jobs:1 tasks) in
+  let par_rows, par_wall = timed (fun () -> Exec.Portfolio.run ~jobs tasks) in
+  let identical = rows_identical seq_rows par_rows in
+  Format.printf "%d tasks  seq=%8.3fs  jobs=%d=%8.3fs  speedup=%.2fx  identical=%b@."
+    (List.length tasks) seq_wall jobs par_wall (seq_wall /. par_wall) identical;
+  let cold_wall, warm_wall, warm_identical, stats =
+    with_temp_cache_dir @@ fun dir ->
+    let cold = Exec.Cache.open_dir dir in
+    let cold_rows, cold_wall = timed (fun () -> Exec.Portfolio.run ~jobs ~cache:cold tasks) in
+    let warm = Exec.Cache.open_dir dir in
+    let warm_rows, warm_wall = timed (fun () -> Exec.Portfolio.run ~jobs ~cache:warm tasks) in
+    (cold_wall, warm_wall, rows_identical cold_rows warm_rows, Exec.Cache.stats warm)
+  in
+  let lookups = stats.Exec.Cache.hits + stats.Exec.Cache.misses in
+  let hit_rate = if lookups = 0 then 0. else float stats.Exec.Cache.hits /. float lookups in
+  Format.printf "cache  cold=%8.3fs  warm=%8.3fs  speedup=%.2fx  hits=%d/%d  identical=%b@."
+    cold_wall warm_wall (cold_wall /. warm_wall) stats.Exec.Cache.hits lookups warm_identical;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\"schema\":\"nova-bench-parallel/v1\",\"mode\":\"%s\",\"jobs\":%d,\"available_jobs\":%d,\"tasks\":%d,\"seq_wall_s\":%.6f,\"par_wall_s\":%.6f,\"speedup\":%.4f,\"identical\":%b,\"cache\":{\"cold_wall_s\":%.6f,\"warm_wall_s\":%.6f,\"warm_speedup\":%.4f,\"identical\":%b,\"hits\":%d,\"misses\":%d,\"stores\":%d,\"rejected\":%d,\"hit_rate\":%.4f}}\n"
+    (if quick then "quick" else "full")
+    jobs
+    (Exec.Pool.available_jobs ())
+    (List.length tasks) seq_wall par_wall (seq_wall /. par_wall) identical cold_wall warm_wall
+    (cold_wall /. warm_wall) warm_identical stats.Exec.Cache.hits stats.Exec.Cache.misses
+    stats.Exec.Cache.stores stats.Exec.Cache.rejected hit_rate;
+  close_out oc;
+  Format.printf "wrote BENCH_parallel.json@."
+
 let run_bechamel () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -326,6 +395,17 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
   let no_bechamel = List.mem "--no-bechamel" args in
+  let jobs =
+    List.fold_left
+      (fun acc a ->
+        match String.index_opt a '=' with
+        | Some i when String.sub a 0 i = "--jobs" -> (
+            match int_of_string_opt (String.sub a (i + 1) (String.length a - i - 1)) with
+            | Some n when n >= 1 -> n
+            | _ -> acc)
+        | _ -> acc)
+      (Exec.Pool.available_jobs ()) args
+  in
   let selected =
     List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
   in
@@ -345,6 +425,7 @@ let () =
     | "espresso" -> run_espresso ~quick ()
     | "pipeline" -> run_pipeline ~quick ()
     | "check" -> run_check ~quick ()
+    | "parallel" -> run_parallel ~quick ~jobs ()
     | "bechamel" -> run_bechamel ()
     | other -> Format.eprintf "unknown table %S@." other
   in
@@ -355,6 +436,7 @@ let () =
       run_espresso ~quick ();
       run_pipeline ~quick ();
       run_check ~quick ();
+      run_parallel ~quick ~jobs ();
       if not no_bechamel then run_bechamel ()
   | picks -> List.iter dispatch picks);
   Format.pp_print_flush ppf ()

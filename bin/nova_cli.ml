@@ -296,6 +296,170 @@ let encode_cmd =
       $ max_work_arg $ fallback_arg $ no_fallback_arg $ certify_arg $ inject_arg $ quiet_arg
       $ machine_arg)
 
+(* --- report: the parallel portfolio executor ----------------------------- *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the portfolio executor (1 = sequential; results are bit-identical \
+     for every value)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let race_arg =
+  let doc =
+    "Race each machine's portfolio: members run concurrently, the first acceptable result \
+     (primary rung, no degradation) wins and losing members are cancelled through the \
+     budget tree. Reports one winning row per machine."
+  in
+  Arg.(value & flag & info [ "race" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Content-addressed result cache directory (default $(b,NOVA_CACHE_DIR) or \
+     $(b,.nova-cache)). Cached entries are re-certified by the independent checker before \
+     being trusted; tampered entries are dropped and recomputed."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the result cache for this run." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let heavy_arg =
+  let doc = "Include the heavy machines (scf, tbk, planet) when no machine is named." in
+  Arg.(value & flag & info [ "heavy" ] ~doc)
+
+let machines_arg =
+  let doc =
+    "KISS2 files or built-in machine names; defaults to the whole non-heavy benchmark \
+     suite."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"MACHINE" ~doc)
+
+let default_cache_dir () =
+  match Sys.getenv_opt "NOVA_CACHE_DIR" with Some d -> d | None -> ".nova-cache"
+
+let report_machines names heavy =
+  match names with
+  | [] ->
+      Ok
+        (List.filter_map
+           (fun (e : Benchmarks.Suite.entry) ->
+             if e.Benchmarks.Suite.heavy && not heavy then None
+             else Some (Lazy.force e.Benchmarks.Suite.machine))
+           Benchmarks.Suite.all)
+  | names ->
+      List.fold_left
+        (fun acc name ->
+          match acc with
+          | Error _ -> acc
+          | Ok ms -> ( match read_machine name with
+              | Ok m -> Ok (m :: ms)
+              | Error e -> Error e))
+        (Ok []) names
+      |> Result.map List.rev
+
+let row_cells (r : Exec.Job.row) =
+  match r.Exec.Job.result with
+  | Ok s ->
+      [
+        string_of_int s.Exec.Job.encoding.Encoding.nbits;
+        string_of_int s.Exec.Job.num_cubes;
+        string_of_int s.Exec.Job.area;
+        Harness.Driver.rung_name s.Exec.Job.produced_by;
+      ]
+  | Error _ -> [ "-"; "-"; "-"; "error" ]
+
+(* stdout carries only deterministic data (the table); wall-clock and
+   cache statistics go to stderr so output is byte-comparable across
+   --jobs levels and cold/warm cache runs. *)
+let report jobs race cache_dir no_cache heavy instrument quiet machines =
+  if instrument then Instrument.enable ();
+  if quiet then Harness.Driver.quiet := true;
+  match report_machines machines heavy with
+  | Error err -> fail_with err
+  | Ok ms ->
+      let cache =
+        if no_cache then None
+        else Some (Exec.Cache.open_dir (Option.value cache_dir ~default:(default_cache_dir ())))
+      in
+      let t0 = Unix.gettimeofday () in
+      let rows =
+        if race then
+          List.concat_map
+            (fun m ->
+              let rows, winner = Exec.Portfolio.race ~jobs ?cache (Exec.Portfolio.tasks_for m) in
+              match winner with
+              | None -> []
+              | Some w -> [ List.nth rows w ])
+            ms
+        else
+          let tasks = List.concat_map Exec.Portfolio.tasks_for ms in
+          Exec.Portfolio.run ~jobs ?cache tasks
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let header =
+        [ "machine"; "algorithm"; "nbits"; "cubes"; "area"; "produced_by" ]
+        @ if race then [] else [ "best" ]
+      in
+      let best_areas =
+        List.fold_left
+          (fun acc (r : Exec.Job.row) ->
+            match r.Exec.Job.result with
+            | Ok s ->
+                let name = r.Exec.Job.task.Exec.Job.machine.Fsm.name in
+                let a = s.Exec.Job.area in
+                (match List.assoc_opt name acc with
+                | Some b when b <= a -> acc
+                | _ -> (name, a) :: List.remove_assoc name acc)
+            | Error _ -> acc)
+          [] rows
+      in
+      let table_rows =
+        List.map
+          (fun (r : Exec.Job.row) ->
+            let name = r.Exec.Job.task.Exec.Job.machine.Fsm.name in
+            let algo = Harness.Driver.name r.Exec.Job.task.Exec.Job.algorithm in
+            let best =
+              if race then []
+              else
+                match r.Exec.Job.result with
+                | Ok s when List.assoc_opt name best_areas = Some s.Exec.Job.area -> [ "*" ]
+                | _ -> [ "" ]
+            in
+            ([ name; algo ] @ row_cells r) @ best)
+          rows
+      in
+      let title =
+        if race then Printf.sprintf "portfolio race (%d machines)" (List.length ms)
+        else
+          Printf.sprintf "portfolio report (%d machines x %d algorithms)" (List.length ms)
+            (List.length Exec.Portfolio.default_algorithms)
+      in
+      Harness.Report.print_table Format.std_formatter ~title ~header table_rows;
+      Printf.eprintf "report: %d rows in %.3fs (%d jobs%s)\n" (List.length rows) wall jobs
+        (if race then ", racing" else "");
+      (match cache with
+      | None -> ()
+      | Some c ->
+          let s = Exec.Cache.stats c in
+          Printf.eprintf "cache: %d hits, %d misses, %d stores, %d rejected (%s)\n"
+            s.Exec.Cache.hits s.Exec.Cache.misses s.Exec.Cache.stores s.Exec.Cache.rejected
+            (Exec.Cache.dir c));
+      if instrument || Instrument.enabled () then Instrument.report Format.err_formatter ();
+      0
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run the encoding portfolio (iexact, iohybrid, ihybrid, igreedy + baselines) over \
+          machines on a parallel domain pool, with an on-disk certified result cache. \
+          Results are bit-identical whatever $(b,--jobs) is.")
+    Term.(
+      const report $ jobs_arg $ race_arg $ cache_dir_arg $ no_cache_arg $ heavy_arg
+      $ instrument_arg $ quiet_arg $ machines_arg)
+
 (* --- minstates -------------------------------------------------------------- *)
 
 let minstates_cmd =
@@ -428,6 +592,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            stats_cmd; constraints_cmd; encode_cmd; minstates_cmd; dot_cmd; blif_cmd; gen_cmd;
-            list_cmd;
+            stats_cmd; constraints_cmd; encode_cmd; report_cmd; minstates_cmd; dot_cmd;
+            blif_cmd; gen_cmd; list_cmd;
           ]))

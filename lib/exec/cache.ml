@@ -1,0 +1,214 @@
+let c_hit = Instrument.counter "exec.cache.hits"
+let c_miss = Instrument.counter "exec.cache.misses"
+let c_store = Instrument.counter "exec.cache.stores"
+let c_rejected = Instrument.counter "exec.cache.rejected"
+let t_certify = Instrument.timer "exec.cache.recertify"
+
+type t = {
+  dir : string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  stores : int Atomic.t;
+  rejected : int Atomic.t;
+}
+
+type stats = { hits : int; misses : int; stores : int; rejected : int }
+
+let open_dir dir =
+  (if Sys.file_exists dir then begin
+     if not (Sys.is_directory dir) then
+       raise (Sys_error (Printf.sprintf "cache path %s is not a directory" dir))
+   end
+   else Unix.mkdir dir 0o755);
+  { dir; hits = Atomic.make 0; misses = Atomic.make 0; stores = Atomic.make 0;
+    rejected = Atomic.make 0 }
+
+let dir c = c.dir
+
+let stats (c : t) : stats =
+  { hits = Atomic.get c.hits; misses = Atomic.get c.misses; stores = Atomic.get c.stores;
+    rejected = Atomic.get c.rejected }
+
+let entry_path c (task : Job.task) = Filename.concat c.dir (Job.key task ^ ".nova-cache")
+
+(* --- serialization ------------------------------------------------------ *)
+
+(* Line-oriented text; every cube and claimed face is a 0/1 bitvec
+   string. The format carries no checksum on purpose: integrity is
+   established semantically, by re-certification against the machine. *)
+
+let magic = "nova-cache/v1"
+
+let render (task : Job.task) (s : Job.success) =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b l; Buffer.add_char b '\n') fmt in
+  line "%s" magic;
+  line "algorithm %s" (Harness.Driver.name task.Job.algorithm);
+  line "machine %s" task.Job.machine.Fsm.name;
+  line "nbits %d" s.Job.encoding.Encoding.nbits;
+  line "codes %s"
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int s.Job.encoding.Encoding.codes)));
+  line "produced_by %s" (Harness.Driver.rung_name s.Job.produced_by);
+  line "degraded %s" (String.concat " " (List.map Harness.Driver.rung_name s.Job.degraded));
+  line "ics %d" (List.length s.Job.claims.Check.claimed_ics);
+  List.iter (fun ic -> line "%s" (Bitvec.to_string ic)) s.Job.claims.Check.claimed_ics;
+  line "ocs %d" (List.length s.Job.claims.Check.claimed_ocs);
+  List.iter (fun (u, v) -> line "%d %d" u v) s.Job.claims.Check.claimed_ocs;
+  line "cubes %d" (List.length s.Job.cover.Logic.Cover.cubes);
+  List.iter (fun c -> line "%s" (Bitvec.to_string c)) s.Job.cover.Logic.Cover.cubes;
+  line "end";
+  Buffer.contents b
+
+exception Malformed
+
+let parse_entry (task : Job.task) text =
+  let lines = ref (String.split_on_char '\n' text) in
+  let next () =
+    match !lines with
+    | [] -> raise Malformed
+    | l :: rest ->
+        lines := rest;
+        l
+  in
+  let field name =
+    let l = next () in
+    let p = name ^ " " in
+    if String.length l >= String.length p && String.sub l 0 (String.length p) = p then
+      String.sub l (String.length p) (String.length l - String.length p)
+    else if l = name then ""
+    else raise Malformed
+  in
+  if next () <> magic then raise Malformed;
+  if field "algorithm" <> Harness.Driver.name task.Job.algorithm then raise Malformed;
+  ignore (field "machine");
+  let nbits = int_of_string (field "nbits") in
+  let codes =
+    field "codes" |> String.split_on_char ' ' |> List.filter (( <> ) "")
+    |> List.map int_of_string |> Array.of_list
+  in
+  let produced_by =
+    match Harness.Driver.rung_of_name (field "produced_by") with
+    | Some r -> r
+    | None -> raise Malformed
+  in
+  let degraded =
+    field "degraded" |> String.split_on_char ' ' |> List.filter (( <> ) "")
+    |> List.map (fun n ->
+           match Harness.Driver.rung_of_name n with Some r -> r | None -> raise Malformed)
+  in
+  let counted name parse =
+    let k = int_of_string (field name) in
+    if k < 0 || k > 1_000_000 then raise Malformed;
+    List.init k (fun _ -> parse (next ()))
+  in
+  let num_states = Array.length task.Job.machine.Fsm.states in
+  let claimed_ics =
+    counted "ics" (fun l ->
+        let v = Bitvec.of_string l in
+        if Bitvec.length v <> num_states then raise Malformed;
+        v)
+  in
+  let claimed_ocs =
+    counted "ocs" (fun l -> Scanf.sscanf l "%d %d" (fun u v -> (u, v)))
+  in
+  (* The encoding must validate (distinct codes, declared width) before
+     we can rebuild the PLA domain the cubes live in. *)
+  let encoding = Encoding.make ~nbits codes in
+  let built = Encoded.build task.Job.machine encoding in
+  let width = Logic.Domain.width built.Encoded.dom in
+  let cubes =
+    counted "cubes" (fun l ->
+        let v = Bitvec.of_string l in
+        if Bitvec.length v <> width then raise Malformed;
+        v)
+  in
+  if next () <> "end" then raise Malformed;
+  let cover = Logic.Cover.make built.Encoded.dom cubes in
+  let num_cubes = Logic.Cover.size cover in
+  {
+    Job.encoding;
+    produced_by;
+    degraded;
+    claims = { Check.claimed_ics; claimed_ocs };
+    cover;
+    num_cubes;
+    area = Encoded.area ~machine:task.Job.machine ~encoding ~num_cubes;
+  }
+
+(* --- lookup / store ----------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let reject (c : t) path =
+  Atomic.incr c.rejected;
+  Instrument.bump c_rejected;
+  (try Sys.remove path with Sys_error _ -> ())
+
+let find (c : t) (task : Job.task) =
+  let path = entry_path c task in
+  if not (Sys.file_exists path) then begin
+    Atomic.incr c.misses;
+    Instrument.bump c_miss;
+    None
+  end
+  else
+    let parsed = try Some (parse_entry task (read_file path)) with _ -> None in
+    match parsed with
+    | None ->
+        (* Corrupt on disk: drop the entry and recompute. *)
+        reject c path;
+        Atomic.incr c.misses;
+        Instrument.bump c_miss;
+        None
+    | Some s ->
+        (* Never trust storage: the independent checker re-establishes
+           the full contract against the machine before the entry is
+           served. *)
+        let cert =
+          Instrument.time t_certify (fun () ->
+              Check.certify task.Job.machine (Job.artifacts_of s))
+        in
+        if cert.Check.ok then begin
+          Atomic.incr c.hits;
+          Instrument.bump c_hit;
+          Some s
+        end
+        else begin
+          reject c path;
+          Atomic.incr c.misses;
+          Instrument.bump c_miss;
+          None
+        end
+
+let store_certified (c : t) (task : Job.task) (s : Job.success) =
+  let path = entry_path c task in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (render task s));
+    Sys.rename tmp path
+  with
+  | () ->
+      Atomic.incr c.stores;
+      Instrument.bump c_store
+  | exception _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+
+(* The cache only ever holds certified results: a success the
+   independent checker rejects (a producer bug, not a storage fault) is
+   recomputed every run rather than laundered through the cache — so a
+   warm-run rejection always means the entry changed on disk. *)
+let store (c : t) (task : Job.task) (s : Job.success) =
+  let cert =
+    Instrument.time t_certify (fun () -> Check.certify task.Job.machine (Job.artifacts_of s))
+  in
+  if cert.Check.ok then store_certified c task s

@@ -1,0 +1,48 @@
+(** Content-addressed on-disk result cache.
+
+    An entry is addressed by {!Job.key}: the MD5 of the machine's
+    canonical KISS2 text, the algorithm, the option fingerprint and
+    {!Job.code_version}. Entries are human-readable text files written
+    atomically (temp file + rename), so concurrent writers — several
+    domains, or several processes sharing a cache directory — can never
+    expose a torn entry.
+
+    {b Trust model}: the cache is untrusted storage. Every lookup
+    re-parses the entry and re-certifies the reconstructed artifacts
+    with the independent checker ([lib/check]): injectivity, code
+    length, claimed face/covering constraints, cover containment and
+    trace equivalence against the machine. An entry that fails to
+    parse, or parses but fails certification (e.g. tampered on disk),
+    is counted in [rejected], deleted, and the job is recomputed — a
+    corrupt cache can cost time, never correctness. *)
+
+type t
+
+type stats = { hits : int; misses : int; stores : int; rejected : int }
+
+(** [open_dir dir] creates [dir] if needed and returns a handle.
+    Raises [Sys_error] if [dir] exists and is not a directory. *)
+val open_dir : string -> t
+
+val dir : t -> string
+
+(** [stats c] is a snapshot of this handle's counters (cross-domain
+    safe; also mirrored in the [exec.cache.*] Instrument counters). *)
+val stats : t -> stats
+
+(** [find c task] is the cached, freshly re-certified result of [task],
+    or [None] (miss, parse failure, or certification failure). *)
+val find : t -> Job.task -> Job.success option
+
+(** [store c task s] persists [s] under [task]'s key, atomically — but
+    only if [s] passes independent certification first: the cache holds
+    certified results exclusively, so a producer bug is recomputed every
+    run instead of being laundered through storage, and any rejection on
+    a later [find] means the entry changed on disk. Failures to write
+    (read-only directory, disk full) are swallowed: the cache is an
+    accelerator, never a correctness dependency. *)
+val store : t -> Job.task -> Job.success -> unit
+
+(** [entry_path c task] is the file a [store] would write — exposed for
+    the corrupt-cache tests and CI smokes. *)
+val entry_path : t -> Job.task -> string

@@ -1,0 +1,43 @@
+let available_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let c_spawned = Instrument.counter "exec.pool.domains_spawned"
+let c_tasks = Instrument.counter "exec.pool.tasks"
+
+let mapi ~jobs tasks ~f =
+  let n = Array.length tasks in
+  Instrument.add c_tasks n;
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then Array.mapi f tasks
+  else begin
+    (* Workers claim indices from a shared cursor (in order) and write
+       into a per-index slot: completion order never shows in the
+       result. Exceptions are captured per slot and the lowest-indexed
+       one is re-raised after the join, again deterministically. *)
+    let results : ('b, exn) result option array = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          results.(i) <- (try Some (Ok (f i tasks.(i))) with e -> Some (Error e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (jobs - 1) (fun _ ->
+          Instrument.bump c_spawned;
+          Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false (* every index below the final cursor was claimed *))
+      results
+  end
+
+let map ~jobs tasks ~f = mapi ~jobs tasks ~f:(fun _ x -> f x)

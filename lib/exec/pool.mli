@@ -1,0 +1,21 @@
+(** A deterministic Domain-based worker pool.
+
+    [map] fans an array of independent tasks out over [jobs] domains and
+    returns the results {e in task order}, whatever order the domains
+    finish in — the deterministic reduction the executor's bit-identity
+    guarantee rests on. Tasks are claimed in index order from a shared
+    atomic cursor, so earlier tasks start no later than later ones and a
+    one-job pool degenerates to [Array.map] on the calling domain. *)
+
+(** [available_jobs ()] is the runtime's recommended domain count (>= 1). *)
+val available_jobs : unit -> int
+
+(** [map ~jobs tasks ~f] applies [f] to every task on a pool of at most
+    [jobs] domains (clamped to [1 .. Array.length tasks]; the calling
+    domain works too, so [jobs = 4] spawns 3). If any [f] raises, the
+    exception of the lowest-indexed failing task is re-raised after every
+    domain has been joined. *)
+val map : jobs:int -> 'a array -> f:('a -> 'b) -> 'b array
+
+(** [mapi ~jobs tasks ~f] is {!map} with the task index. *)
+val mapi : jobs:int -> 'a array -> f:(int -> 'a -> 'b) -> 'b array

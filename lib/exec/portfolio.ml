@@ -1,0 +1,137 @@
+let iexact_max_work = 400_000
+
+let default_algorithms =
+  [
+    Harness.Driver.Iexact; Harness.Driver.Iohybrid; Harness.Driver.Ihybrid;
+    Harness.Driver.Igreedy; Harness.Driver.Kiss;
+    Harness.Driver.Mustang (Baselines.Fanout, true); Harness.Driver.One_hot;
+  ]
+
+(* iexact is exponential: cap it like Flow does, so a portfolio run
+   terminates deterministically (the cap is part of the cache key). *)
+let tasks_for m =
+  List.map
+    (fun algo ->
+      match algo with
+      | Harness.Driver.Iexact -> Job.task ~max_work:iexact_max_work m algo
+      | _ -> Job.task m algo)
+    default_algorithms
+
+let primary_stage = function
+  | Harness.Driver.Iexact -> Nova_error.Iexact
+  | Harness.Driver.Ihybrid -> Nova_error.Ihybrid
+  | Harness.Driver.Igreedy -> Nova_error.Igreedy
+  | Harness.Driver.Iohybrid -> Nova_error.Iohybrid
+  | Harness.Driver.Iovariant -> Nova_error.Iovariant
+  | Harness.Driver.Kiss | Harness.Driver.Mustang _ | Harness.Driver.One_hot
+  | Harness.Driver.Random _ ->
+      Nova_error.Baseline
+
+let job_timer (task : Job.task) =
+  Instrument.timer ("exec.job." ^ Harness.Driver.name task.Job.algorithm)
+
+(* One plain (non-racing) job: cache lookup, else compute and store. *)
+let run_one ?cache (task : Job.task) =
+  let t0 = Unix.gettimeofday () in
+  let finish result origin =
+    { Job.task; result; origin; wall_s = Unix.gettimeofday () -. t0 }
+  in
+  match Option.bind cache (fun c -> Cache.find c task) with
+  | Some s -> finish (Ok s) Job.Cached
+  | None ->
+      let result = Instrument.time (job_timer task) (fun () -> Job.run task) in
+      (match (cache, result) with
+      | Some c, Ok s -> Cache.store c task s
+      | _ -> ());
+      finish result Job.Computed
+
+let run ?(jobs = 1) ?cache tasks =
+  let rows = Pool.map ~jobs (Array.of_list tasks) ~f:(fun t -> run_one ?cache t) in
+  Array.to_list rows
+
+(* --- racing ------------------------------------------------------------- *)
+
+let acceptable = function
+  | Ok (s : Job.success) -> s.Job.degraded = []
+  | Error _ -> false
+
+let race ?(jobs = 1) ?cache tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  (* Lowest index that completed acceptably so far. Monotonically
+     decreasing, so the final value is the deterministic winner no
+     matter which domain lowered it first. *)
+  let winner = Atomic.make max_int in
+  let rec note i =
+    let w = Atomic.get winner in
+    if i < w && not (Atomic.compare_and_set winner w i) then note i
+  in
+  let budgets =
+    Array.map (fun (t : Job.task) -> Budget.create ?max_work:t.Job.max_work ()) tasks
+  in
+  let cancel_losers () =
+    let w = Atomic.get winner in
+    if w < n then
+      for j = w + 1 to n - 1 do
+        Budget.cancel budgets.(j)
+      done
+  in
+  let cancelled_row (task : Job.task) t0 =
+    {
+      Job.task;
+      result =
+        Error
+          (Nova_error.Budget_exhausted
+             { stage = primary_stage task.Job.algorithm; reason = Budget.Cancelled });
+      origin = Job.Cancelled_by_race;
+      wall_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  let run_racer i (task : Job.task) =
+    let t0 = Unix.gettimeofday () in
+    if Atomic.get winner < i then cancelled_row task t0
+    else
+      match Option.bind cache (fun c -> Cache.find c task) with
+      | Some s ->
+          if acceptable (Ok s) then begin
+            note i;
+            cancel_losers ()
+          end;
+          { Job.task; result = Ok s; origin = Job.Cached; wall_s = Unix.gettimeofday () -. t0 }
+      | None ->
+          let result =
+            Instrument.time (job_timer task) (fun () -> Job.run ~budget:budgets.(i) task)
+          in
+          let raced_out = Budget.reason budgets.(i) = Some Budget.Cancelled in
+          if (not raced_out) && acceptable result then begin
+            note i;
+            cancel_losers ()
+          end;
+          (* A loser that was tripped mid-run produced a degraded (or
+             no) result: it must never enter the cache. *)
+          (match (cache, result) with
+          | Some c, Ok s when not raced_out -> Cache.store c task s
+          | _ -> ());
+          {
+            Job.task;
+            result;
+            origin = (if raced_out then Job.Cancelled_by_race else Job.Computed);
+            wall_s = Unix.gettimeofday () -. t0;
+          }
+  in
+  let rows = Pool.mapi ~jobs tasks ~f:run_racer in
+  let best_by_area () =
+    let best = ref None in
+    Array.iteri
+      (fun i (r : Job.row) ->
+        match (r.Job.result, r.Job.origin) with
+        | Ok s, (Job.Computed | Job.Cached) -> (
+            match !best with
+            | Some (_, a) when a <= s.Job.area -> ()
+            | _ -> best := Some (i, s.Job.area))
+        | _ -> ())
+      rows;
+    Option.map fst !best
+  in
+  let w = Atomic.get winner in
+  (Array.to_list rows, if w < n then Some w else best_by_area ())

@@ -1,0 +1,62 @@
+(** The parallel portfolio executor.
+
+    NOVA's experimental method runs every machine through several
+    encoding programs and keeps the best PLA. {!run} executes such a
+    task list on a {!Pool} of domains with deterministic results;
+    {!race} runs one machine's portfolio competitively, cancelling
+    losers through the {!Budget} cancellation tree.
+
+    {b Determinism}: for a fixed task list, [run ~jobs:n] returns rows
+    bit-identical to [run ~jobs:1] for every [n] — results are reduced
+    in task order, tasks share no mutable state, and cache hits are
+    certified results of the very computation they replace. {!race} is
+    deterministic too (see below), so racing output is also independent
+    of [jobs]. *)
+
+(** [run ?jobs ?cache tasks] executes every task and returns one row per
+    task, in task order. [jobs] defaults to 1. With [cache], each task
+    first consults the content-addressed store (entries re-certify
+    before being trusted) and stores its freshly computed result. *)
+val run : ?jobs:int -> ?cache:Cache.t -> Job.task list -> Job.row list
+
+(** [race ?jobs ?cache tasks] races the tasks (one machine's portfolio
+    rungs) against each other and returns the rows (task order: losers
+    keep their cancelled/partial status) plus the index of the winner,
+    or [None] if no task produced a usable result.
+
+    The winner is deterministic regardless of completion order:
+
+    - {e acceptable} means the task succeeded with its primary rung (no
+      fallback degradation);
+    - the winner is the {b lowest-indexed acceptable} task — so order
+      the portfolio by preference;
+    - once some task [k] completes acceptably, every task after [k] is
+      cancelled ({!Budget.cancel}) or never started: its result cannot
+      affect the outcome, because a lower index wins regardless. Tasks
+      before [k] always run to completion — one of them may still beat
+      [k];
+    - if no task is acceptable, nothing was ever cancelled, every
+      result is available, and the winner is the best (smallest) PLA
+      area, ties to the lowest index.
+
+    With [jobs = 1] the same protocol runs sequentially: tasks after
+    the first acceptable one are simply never started. Either way the
+    winning row is bit-identical.
+
+    Cancelled losers are never written to the cache (their budgets
+    tripped); the winner always ran uncancelled, so its cached entry
+    equals the sequential result. *)
+val race : ?jobs:int -> ?cache:Cache.t -> Job.task list -> Job.row list * int option
+
+(** [default_algorithms] is the racing/reporting portfolio, preference
+    first: iexact (capped), iohybrid, ihybrid, igreedy, then the kiss /
+    mustang-nt / one-hot baselines. *)
+val default_algorithms : Harness.Driver.algorithm list
+
+(** [iexact_max_work] is the deterministic work cap applied to iexact
+    portfolio members (the paper itself gives up on the big machines). *)
+val iexact_max_work : int
+
+(** [tasks_for m] is [m]'s full portfolio as tasks in
+    {!default_algorithms} order. *)
+val tasks_for : Fsm.t -> Job.task list

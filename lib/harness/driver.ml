@@ -36,6 +36,23 @@ let all_algorithms =
     One_hot; Random 0;
   ]
 
+let algorithm_of_name s =
+  match s with
+  | "ihybrid" -> Some Ihybrid
+  | "igreedy" -> Some Igreedy
+  | "iohybrid" -> Some Iohybrid
+  | "iovariant" -> Some Iovariant
+  | "iexact" -> Some Iexact
+  | "kiss" -> Some Kiss
+  | "mustang-n" -> Some (Mustang (Baselines.Fanout, false))
+  | "mustang-nt" -> Some (Mustang (Baselines.Fanout, true))
+  | "mustang-p" -> Some (Mustang (Baselines.Fanin, false))
+  | "mustang-pt" -> Some (Mustang (Baselines.Fanin, true))
+  | "onehot" -> Some One_hot
+  | _ ->
+      (* random[SEED] *)
+      (try Some (Random (Scanf.sscanf s "random[%d]" (fun n -> n))) with _ -> None)
+
 type rung =
   | Rung_iexact
   | Rung_semiexact
@@ -49,6 +66,12 @@ type rung =
   | Rung_one_hot
   | Rung_random
 
+let all_rungs =
+  [
+    Rung_iexact; Rung_semiexact; Rung_project; Rung_ihybrid; Rung_igreedy; Rung_iohybrid;
+    Rung_iovariant; Rung_kiss; Rung_mustang; Rung_one_hot; Rung_random;
+  ]
+
 let rung_name = function
   | Rung_iexact -> "iexact"
   | Rung_semiexact -> "semiexact"
@@ -61,6 +84,8 @@ let rung_name = function
   | Rung_mustang -> "mustang"
   | Rung_one_hot -> "onehot"
   | Rung_random -> "random"
+
+let rung_of_name s = List.find_opt (fun r -> rung_name r = s) all_rungs
 
 let stage_of = function
   | Rung_iexact -> Nova_error.Iexact

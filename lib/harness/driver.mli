@@ -21,6 +21,10 @@ val name : algorithm -> string
     sensible reporting order. *)
 val all_algorithms : algorithm list
 
+(** [algorithm_of_name s] inverts {!name} ([random] seeds included:
+    ["random[7]"]). [None] on an unknown spelling. *)
+val algorithm_of_name : string -> algorithm option
+
 (** A rung of the fallback ladder: the concrete encoder that produced
     (or failed to produce) an encoding. Each algorithm degrades through
     progressively cheaper rungs of its family:
@@ -46,6 +50,10 @@ type rung =
   | Rung_random
 
 val rung_name : rung -> string
+
+(** [rung_of_name s] inverts {!rung_name} (used by the on-disk result
+    cache to round-trip [produced_by]). *)
+val rung_of_name : string -> rung option
 
 (** [ladder ~fallback algo] is the rung sequence [encode] tries, in
     order; with [fallback = false], just the first rung. *)

@@ -54,26 +54,36 @@ let make name =
               Encoding.random rng ~num_states:n ~nbits));
   }
 
+(* All the memo tables below are process-global and may be consulted
+   from several domains at once when an [Exec] pool shares a flow;
+   [tables_lock] guards every lookup-or-insert. A computation that
+   races (two domains missing the same key) runs twice — both compute
+   the same value, so the duplicate insert is benign — but the table
+   mutation itself is always serialized. The heavy per-stage work is
+   additionally single-flighted by [Stage]'s own per-cell lock. *)
+let tables_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock tables_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock tables_lock) f
+
+let memo tbl key compute =
+  match locked (fun () -> Hashtbl.find_opt tbl key) with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      locked (fun () -> if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v);
+      v
+
 let flows : (string, t) Hashtbl.t = Hashtbl.create 41
 
-let get name =
-  match Hashtbl.find_opt flows name with
-  | Some f -> f
-  | None ->
-      let f = make name in
-      Hashtbl.add flows name f;
-      f
+let get name = memo flows name (fun () -> make name)
 
 let impls : (string * int * int array, Encoded.result) Hashtbl.t = Hashtbl.create 127
 
 let implement flow (e : Encoding.t) =
   let key = (flow.name, e.Encoding.nbits, e.Encoding.codes) in
-  match Hashtbl.find_opt impls key with
-  | Some r -> r
-  | None ->
-      let r = Encoded.implement flow.machine e in
-      Hashtbl.add impls key r;
-      r
+  memo impls key (fun () -> Encoded.implement flow.machine e)
 
 let area_of flow e = (implement flow e).Encoded.area
 
@@ -111,19 +121,13 @@ let nova_candidates flow =
 let nova_best_cache : (string, Encoding.t) Hashtbl.t = Hashtbl.create 41
 
 let nova_best flow =
-  match Hashtbl.find_opt nova_best_cache flow.name with
-  | Some e -> e
-  | None ->
-      let best =
-        match nova_candidates flow with
-        | [] -> assert false
-        | e :: rest ->
-            List.fold_left
-              (fun best c -> if area_of flow c < area_of flow best then c else best)
-              e rest
-      in
-      Hashtbl.add nova_best_cache flow.name best;
-      best
+  memo nova_best_cache flow.name @@ fun () ->
+  match nova_candidates flow with
+  | [] -> assert false
+  | e :: rest ->
+      List.fold_left
+        (fun best c -> if area_of flow c < area_of flow best then c else best)
+        e rest
 
 let mustang_flavors =
   [
@@ -136,45 +140,36 @@ let mustang_flavors =
 let mustang_cache : (string, Encoding.t * string) Hashtbl.t = Hashtbl.create 41
 
 let mustang_best_cubes flow =
-  match Hashtbl.find_opt mustang_cache flow.name with
-  | Some r -> r
-  | None ->
-      let n = Fsm.num_states ~m:flow.machine in
-      let nbits = Ihybrid.min_code_length n in
-      let candidates =
-        List.map
-          (fun (label, flavor, include_outputs) ->
-            (Baselines.mustang_encode flow.machine ~flavor ~include_outputs ~nbits, label))
-          mustang_flavors
-      in
-      let best =
-        List.fold_left
-          (fun (be, bl) (e, l) ->
-            if (implement flow e).Encoded.num_cubes < (implement flow be).Encoded.num_cubes
-            then (e, l)
-            else (be, bl))
-          (List.hd candidates) (List.tl candidates)
-      in
-      Hashtbl.add mustang_cache flow.name best;
-      best
+  memo mustang_cache flow.name @@ fun () ->
+  let n = Fsm.num_states ~m:flow.machine in
+  let nbits = Ihybrid.min_code_length n in
+  let candidates =
+    List.map
+      (fun (label, flavor, include_outputs) ->
+        (Baselines.mustang_encode flow.machine ~flavor ~include_outputs ~nbits, label))
+      mustang_flavors
+  in
+  List.fold_left
+    (fun (be, bl) (e, l) ->
+      if (implement flow e).Encoded.num_cubes < (implement flow be).Encoded.num_cubes
+      then (e, l)
+      else (be, bl))
+    (List.hd candidates) (List.tl candidates)
 
 let lits_cache : (string * int * int array, int) Hashtbl.t = Hashtbl.create 127
 
 let factored_literals flow (e : Encoding.t) =
   let key = (flow.name, e.Encoding.nbits, e.Encoding.codes) in
-  match Hashtbl.find_opt lits_cache key with
-  | Some l -> l
-  | None ->
-      let r = implement flow e in
-      let net =
-        Multilevel.of_cover r.Encoded.cover
-          ~num_binary_vars:(flow.machine.Fsm.num_inputs + e.Encoding.nbits)
-      in
-      let l = Multilevel.factored_literals (Multilevel.optimize net) in
-      Hashtbl.add lits_cache key l;
-      l
+  memo lits_cache key @@ fun () ->
+  let r = implement flow e in
+  let net =
+    Multilevel.of_cover r.Encoded.cover
+      ~num_binary_vars:(flow.machine.Fsm.num_inputs + e.Encoding.nbits)
+  in
+  Multilevel.factored_literals (Multilevel.optimize net)
 
 let clear_cache () =
+  locked @@ fun () ->
   Hashtbl.reset flows;
   Hashtbl.reset impls;
   Hashtbl.reset nova_best_cache;

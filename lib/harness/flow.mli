@@ -1,4 +1,6 @@
-(** Per-machine experiment flow with caching.
+(** Per-machine experiment flow with caching. Domain-safe: the memo
+    tables are mutex-guarded and each {!Stage.t} single-flights its
+    computation, so flows may be shared by an [Exec] worker pool.
 
     Every paper table needs some subset of: the multiple-valued
     minimization (input constraints), symbolic minimization (mixed

@@ -10,7 +10,13 @@
 
    Probes register themselves by name at module-initialization time;
    [find_or_create] keeps a name unique across libraries so the same
-   logical counter can be bumped from several call sites. *)
+   logical counter can be bumped from several call sites.
+
+   Domain safety: probes may fire concurrently from several domains (the
+   [Exec] pool runs one encoding job per domain). Counter bumps are
+   [Atomic] increments; timer and histogram mutation and every registry
+   operation take [mutex]. The off path is untouched: a plain load of
+   [on] and a branch, no lock. *)
 
 let on =
   ref
@@ -22,7 +28,16 @@ let enable () = on := true
 let disable () = on := false
 let enabled () = !on
 
-type counter = { c_name : string; mutable count : int }
+(* One lock for the registries and all non-atomic probe state. Probes
+   hold it for a few loads/stores at most, and never while running user
+   code, so contention cannot deadlock. *)
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+type counter = { c_name : string; count : int Atomic.t }
 
 type timer = { t_name : string; mutable seconds : float; mutable t_calls : int }
 
@@ -35,6 +50,7 @@ let all_timers : timer list ref = ref []
 let all_histograms : histogram list ref = ref []
 
 let find_or_create registry ~name ~get_name ~make =
+  locked @@ fun () ->
   match List.find_opt (fun x -> get_name x = name) !registry with
   | Some x -> x
   | None ->
@@ -45,10 +61,10 @@ let find_or_create registry ~name ~get_name ~make =
 let counter name =
   find_or_create all_counters ~name
     ~get_name:(fun c -> c.c_name)
-    ~make:(fun () -> { c_name = name; count = 0 })
+    ~make:(fun () -> { c_name = name; count = Atomic.make 0 })
 
-let bump c = if !on then c.count <- c.count + 1
-let add c n = if !on then c.count <- c.count + n
+let bump c = if !on then Atomic.incr c.count
+let add c n = if !on then ignore (Atomic.fetch_and_add c.count n)
 
 let timer name =
   find_or_create all_timers ~name
@@ -57,15 +73,19 @@ let timer name =
 
 (* [time t f] accounts the wall-clock time of [f ()] to [t]. Safe under
    exceptions; nested use of the *same* timer double-counts, so timers
-   are attached only to non-reentrant entry points. *)
+   are attached only to non-reentrant entry points. Concurrent use from
+   several domains accumulates the domains' spans (total busy time, not
+   wall-clock). *)
 let time t f =
   if not !on then f ()
   else begin
     let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
-        t.seconds <- t.seconds +. (Unix.gettimeofday () -. t0);
-        t.t_calls <- t.t_calls + 1)
+        let dt = Unix.gettimeofday () -. t0 in
+        locked (fun () ->
+            t.seconds <- t.seconds +. dt;
+            t.t_calls <- t.t_calls + 1))
       f
   end
 
@@ -78,12 +98,14 @@ let histogram ?(buckets = default_buckets) name =
 
 let observe h v =
   if !on then
+    locked @@ fun () ->
     if v >= 0 && v < Array.length h.h_buckets then
       h.h_buckets.(v) <- h.h_buckets.(v) + 1
     else h.overflow <- h.overflow + 1
 
 let reset () =
-  List.iter (fun c -> c.count <- 0) !all_counters;
+  locked @@ fun () ->
+  List.iter (fun c -> Atomic.set c.count 0) !all_counters;
   List.iter
     (fun t ->
       t.seconds <- 0.;
@@ -95,10 +117,14 @@ let reset () =
       h.overflow <- 0)
     !all_histograms
 
-let counters () = List.map (fun c -> (c.c_name, c.count)) !all_counters
-let timers () = List.map (fun t -> (t.t_name, t.seconds, t.t_calls)) !all_timers
+let counters () =
+  locked @@ fun () -> List.map (fun c -> (c.c_name, Atomic.get c.count)) !all_counters
+
+let timers () =
+  locked @@ fun () -> List.map (fun t -> (t.t_name, t.seconds, t.t_calls)) !all_timers
 
 let histograms () =
+  locked @@ fun () ->
   List.map (fun h -> (h.h_name, Array.copy h.h_buckets, h.overflow)) !all_histograms
 
 (* Highest non-empty bucket, so reports and JSON stay short. *)

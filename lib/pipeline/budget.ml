@@ -1,12 +1,18 @@
 type reason = Work | Deadline | Cancelled
 
+(* [tripped] is Atomic so that another domain (a racing winner) can trip
+   this budget mid-[tick] without torn reads: every [tick] reads it on
+   its way out, so a cross-domain [cancel] is observed within one tick.
+   [work]/[until_poll] stay plain mutable fields — a budget tree is
+   owned by the single domain that ticks it; only the cancellation
+   signal crosses domains. *)
 type t = {
   parent : t option;
   max_work : int option;
   deadline : float option;  (* absolute, Unix.gettimeofday clock *)
   cancel : (unit -> bool) option;
   mutable work : int;
-  mutable tripped : reason option;
+  tripped : reason option Atomic.t;
   mutable until_poll : int;
 }
 
@@ -17,7 +23,8 @@ exception Out_of_budget of reason
 let poll_interval = 256
 
 let make ?parent ?max_work ?deadline ?cancel () =
-  { parent; max_work; deadline; cancel; work = 0; tripped = None; until_poll = poll_interval }
+  { parent; max_work; deadline; cancel; work = 0; tripped = Atomic.make None;
+    until_poll = poll_interval }
 
 let unlimited = make ()
 
@@ -27,18 +34,24 @@ let create ?max_work ?deadline_ms ?cancel () =
 
 let sub ?max_work parent = make ~parent ?max_work ()
 
+(* Trip [b] with [r] unless already tripped: the first reason wins, even
+   against a concurrent trip from another domain. *)
+let trip b r = ignore (Atomic.compare_and_set b.tripped None (Some r))
+
+let cancel b = trip b Cancelled
+
 let rec poll b =
-  (if b.tripped = None then
+  (if Atomic.get b.tripped = None then
      match b.deadline with
-     | Some d when Unix.gettimeofday () >= d -> b.tripped <- Some Deadline
+     | Some d when Unix.gettimeofday () >= d -> trip b Deadline
      | Some _ | None -> (
          match b.cancel with
-         | Some f when f () -> b.tripped <- Some Cancelled
+         | Some f when f () -> trip b Cancelled
          | Some _ | None -> ()));
   match b.parent with Some p -> poll p | None -> ()
 
 let rec first_tripped b =
-  match b.tripped with
+  match Atomic.get b.tripped with
   | Some r -> Some r
   | None -> ( match b.parent with Some p -> first_tripped p | None -> None)
 
@@ -47,7 +60,7 @@ let rec first_tripped b =
 let rec bump b =
   b.work <- b.work + 1;
   (match b.max_work with
-  | Some cap when b.work > cap && b.tripped = None -> b.tripped <- Some Work
+  | Some cap when b.work > cap -> trip b Work
   | Some _ | None -> ());
   match b.parent with Some p -> bump p | None -> ()
 

@@ -18,7 +18,14 @@
     so running under an unconstrained budget reproduces the pre-pipeline
     behavior bit for bit. Deadlines are polled every few hundred ticks
     (and on every {!exhausted} call), keeping the overhead of an
-    unconstrained budget to a counter increment. *)
+    unconstrained budget to a counter increment.
+
+    Cross-domain cancellation: the tripped flag is an [Atomic.t], so
+    {!cancel} may be called from any domain (the [Exec] racing pool uses
+    it to trip losing portfolio members) and is observed by the ticking
+    domain within one {!tick}. The work counters themselves are not
+    atomic — a budget tree must be ticked by a single domain; only the
+    cancellation signal is cross-domain sound. *)
 
 type reason =
   | Work  (** a work cap was reached *)
@@ -42,6 +49,12 @@ val sub : ?max_work:int -> t -> t
 (** [tick b] charges one unit of work. Returns [false] when the budget
     (or an ancestor) is exhausted — the caller should stop. *)
 val tick : t -> bool
+
+(** [cancel b] trips [b] with reason [Cancelled], immediately and from
+    any domain. The domain ticking [b] (or any budget below it) observes
+    the trip on its next {!tick} or {!exhausted} check. Idempotent; a
+    budget that already tripped for another reason keeps that reason. *)
+val cancel : t -> unit
 
 (** [exhausted b] pre-checks the budget without charging work, polling
     the deadline and cancellation callback. *)

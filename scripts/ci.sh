@@ -57,13 +57,50 @@ $NOVA gen -s 80 -p 400 -i 8 -o 8 > "$TMP/big.kiss2"
 timeout 10 $NOVA encode -a iexact --budget-ms 50 "$TMP/big.kiss2" > /dev/null 2>/dev/null
 echo "  deadline run terminated via fallback: exit 0 ok"
 
+echo "== parallel smoke: --jobs 2 must match --jobs 1 bit for bit =="
+$NOVA report --jobs 1 --no-cache lion dk15 bbara > "$TMP/report-j1.txt" 2>/dev/null
+$NOVA report --jobs 2 --no-cache lion dk15 bbara > "$TMP/report-j2.txt" 2>/dev/null
+diff "$TMP/report-j1.txt" "$TMP/report-j2.txt" \
+  || { echo "parallel report differs from sequential"; exit 1; }
+echo "  report --jobs 2 bit-identical to --jobs 1: ok"
+
+echo "== cache smoke: warm run must hit and match the cold run =="
+$NOVA report --cache "$TMP/cache" lion dk15 > "$TMP/report-cold.txt" 2>/dev/null
+$NOVA report --cache "$TMP/cache" lion dk15 > "$TMP/report-warm.txt" 2> "$TMP/warm-stderr.txt"
+diff "$TMP/report-cold.txt" "$TMP/report-warm.txt" \
+  || { echo "warm-cache report differs from cold"; exit 1; }
+grep -q "cache: [1-9][0-9]* hits" "$TMP/warm-stderr.txt" \
+  || { echo "warm run produced no cache hits"; cat "$TMP/warm-stderr.txt"; exit 1; }
+echo "  cache round-trip: warm hits, identical report: ok"
+
+echo "== cache smoke: a corrupt entry is rejected and recomputed =="
+for entry in "$TMP/cache"/*.nova-cache; do
+  printf 'garbage\n' > "$entry"
+  break
+done
+$NOVA report --cache "$TMP/cache" lion dk15 > "$TMP/report-corrupt.txt" 2> "$TMP/corrupt-stderr.txt" \
+  || { echo "corrupt cache entry crashed the report"; exit 1; }
+diff "$TMP/report-cold.txt" "$TMP/report-corrupt.txt" \
+  || { echo "report after cache corruption differs"; exit 1; }
+grep -q "1 rejected" "$TMP/corrupt-stderr.txt" \
+  || { echo "corrupt entry was not rejected"; cat "$TMP/corrupt-stderr.txt"; exit 1; }
+echo "  corrupt entry rejected, recomputed, exit 0: ok"
+
+# Bench smokes run inside $TMP: they write BENCH_*.json into the
+# current directory, and the repo root holds the committed full-mode
+# artifacts, which a quick run must not clobber.
+BENCH=$(pwd)/_build/default/bench/main.exe
+
+echo "== bench smoke (quick parallel executor) =="
+(cd "$TMP" && "$BENCH" --quick --jobs=2 parallel)
+
 echo "== bench smoke (quick espresso kernels) =="
-dune exec bench/main.exe -- --quick espresso
+(cd "$TMP" && "$BENCH" --quick espresso)
 
 echo "== bench smoke (quick pipeline) =="
-dune exec bench/main.exe -- --quick pipeline
+(cd "$TMP" && "$BENCH" --quick pipeline)
 
 echo "== bench smoke (quick certification) =="
-dune exec bench/main.exe -- --quick check
+(cd "$TMP" && "$BENCH" --quick check)
 
 echo "CI OK"

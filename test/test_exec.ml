@@ -1,0 +1,330 @@
+(* Tests for the parallel portfolio executor: the domain pool's
+   deterministic reduction, domain-safe instrumentation and budget
+   cancellation, racing, and the content-addressed result cache with
+   its re-certification gate. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let quick_machines = [ "lion"; "dk15"; "bbara" ]
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "nova-exec-test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_map_deterministic () =
+  let tasks = Array.init 64 (fun i -> i) in
+  let f i x =
+    (* Skewed per-task cost, so completion order differs from index
+       order whenever more than one domain runs. *)
+    let acc = ref 0 in
+    for k = 1 to (x mod 7) * 10_000 do
+      acc := !acc + k
+    done;
+    ignore !acc;
+    (i, x * x)
+  in
+  let seq = Exec.Pool.mapi ~jobs:1 tasks ~f in
+  let par = Exec.Pool.mapi ~jobs:4 tasks ~f in
+  check "jobs=4 equals jobs=1" true (seq = par);
+  Array.iteri (fun i (j, sq) -> check_int "slot index" i j; check_int "square" (i * i) sq) par
+
+let test_pool_exception_propagates () =
+  let tasks = Array.init 16 (fun i -> i) in
+  let boom i _ = if i = 5 || i = 11 then failwith (Printf.sprintf "boom %d" i) else i in
+  (* The lowest-indexed failure is the one re-raised, regardless of
+     which domain hit its exception first. *)
+  (match Exec.Pool.mapi ~jobs:4 tasks ~f:boom with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg -> check "lowest-index exception wins" true (msg = "boom 5"))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: domain-safe instrumentation *)
+
+let test_instrument_two_domain_hammer () =
+  let was_on = Instrument.enabled () in
+  Instrument.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_on then Instrument.disable ())
+    (fun () ->
+      let c = Instrument.counter "test.exec.hammer" in
+      let t = Instrument.timer "test.exec.hammer-timer" in
+      let before =
+        match List.assoc_opt "test.exec.hammer" (Instrument.counters ()) with
+        | Some n -> n
+        | None -> 0
+      in
+      let n = 100_000 in
+      let hammer () =
+        for _ = 1 to n do
+          Instrument.bump c;
+          (* find_or_create from two domains must never duplicate or
+             corrupt the registry. *)
+          ignore (Instrument.counter "test.exec.hammer");
+          Instrument.time t ignore
+        done
+      in
+      let d = Domain.spawn hammer in
+      hammer ();
+      Domain.join d;
+      let after =
+        match List.assoc_opt "test.exec.hammer" (Instrument.counters ()) with
+        | Some v -> v
+        | None -> Alcotest.fail "counter vanished"
+      in
+      check_int "no lost bumps across two domains" (2 * n) (after - before);
+      let timer_calls =
+        List.filter_map
+          (fun (name, _, calls) -> if name = "test.exec.hammer-timer" then Some calls else None)
+          (Instrument.timers ())
+      in
+      check "no lost timer calls" true (List.exists (fun calls -> calls >= 2 * n) timer_calls);
+      check "registry holds one instance" true
+        (List.length
+           (List.filter (fun (name, _) -> name = "test.exec.hammer") (Instrument.counters ()))
+        = 1))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: cross-domain budget cancellation *)
+
+let test_budget_cross_domain_cancel () =
+  let parent = Budget.create () in
+  let child = Budget.sub parent in
+  let ticks = Atomic.make 0 in
+  let stopped = Atomic.make false in
+  let ticker =
+    Domain.spawn (fun () ->
+        (* Tick the child until the budget trips; the cancel arrives
+           from the other domain mid-loop. *)
+        while Budget.tick child do
+          Atomic.incr ticks
+        done;
+        Atomic.set stopped true)
+  in
+  (* Wait until the ticker is demonstrably inside its loop. *)
+  while Atomic.get ticks < 1_000 do
+    Domain.cpu_relax ()
+  done;
+  let at_cancel = Atomic.get ticks in
+  Budget.cancel parent;
+  Domain.join ticker;
+  check "ticker observed the cancel and stopped" true (Atomic.get stopped);
+  check "cancel reason propagated to the child" true
+    (Budget.reason child = Some Budget.Cancelled);
+  (* The tripped flag is atomic and checked on every tick, so the loop
+     must die within one poll interval (256 ticks) of the cancel. *)
+  check "stopped within one poll interval" true (Atomic.get ticks - at_cancel <= 256 + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Cache: keys, round-trip, corruption, tampering *)
+
+let sample_task name = Exec.Job.task (Benchmarks.Suite.find name) Harness.Driver.Igreedy
+
+let test_cache_key_sensitivity () =
+  let lion = Benchmarks.Suite.find "lion" in
+  let base = Exec.Job.task lion Harness.Driver.Igreedy in
+  let diff_algo = Exec.Job.task lion Harness.Driver.Kiss in
+  let diff_bits = Exec.Job.task ~bits:4 lion Harness.Driver.Igreedy in
+  let diff_work = Exec.Job.task ~max_work:7 lion Harness.Driver.Igreedy in
+  let diff_machine = sample_task "dk15" in
+  let keys =
+    List.map Exec.Job.key [ base; diff_algo; diff_bits; diff_work; diff_machine ]
+  in
+  check_int "all five keys distinct" 5 (List.length (List.sort_uniq compare keys));
+  check "key is stable" true (Exec.Job.key base = Exec.Job.key base)
+
+let test_cache_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let tasks = List.map sample_task quick_machines in
+  let cold = Exec.Cache.open_dir dir in
+  let cold_rows = Exec.Portfolio.run ~cache:cold tasks in
+  let st = Exec.Cache.stats cold in
+  check_int "cold run misses everything" (List.length tasks) st.Exec.Cache.misses;
+  check_int "cold run stores everything" (List.length tasks) st.Exec.Cache.stores;
+  let warm = Exec.Cache.open_dir dir in
+  let warm_rows = Exec.Portfolio.run ~cache:warm tasks in
+  let st = Exec.Cache.stats warm in
+  check_int "warm run hits everything" (List.length tasks) st.Exec.Cache.hits;
+  check_int "warm run misses nothing" 0 st.Exec.Cache.misses;
+  check_int "warm run rejects nothing" 0 st.Exec.Cache.rejected;
+  List.iter2
+    (fun (a : Exec.Job.row) (b : Exec.Job.row) ->
+      (match (a.Exec.Job.result, b.Exec.Job.result) with
+      | Ok x, Ok y -> check "cached result bit-identical" true (Exec.Job.success_equal x y)
+      | _ -> Alcotest.fail "portfolio run failed");
+      check "cold origin" true (a.Exec.Job.origin = Exec.Job.Computed);
+      check "warm origin" true (b.Exec.Job.origin = Exec.Job.Cached))
+    cold_rows warm_rows
+
+let test_cache_corrupt_entry_recomputed () =
+  with_temp_dir @@ fun dir ->
+  let task = sample_task "lion" in
+  let c = Exec.Cache.open_dir dir in
+  let fresh = Exec.Portfolio.run ~cache:c [ task ] in
+  (* Overwrite the entry with garbage: the parser must reject it and
+     the executor recompute, never crash. *)
+  let path = Filename.concat dir (Exec.Job.key task ^ ".nova-cache") in
+  check "entry exists after the store" true (Sys.file_exists path);
+  let oc = open_out_bin path in
+  output_string oc "\x00garbage\nnot a cache entry\n";
+  close_out oc;
+  let c2 = Exec.Cache.open_dir dir in
+  let rows = Exec.Portfolio.run ~cache:c2 [ task ] in
+  let st = Exec.Cache.stats c2 in
+  check_int "corrupt entry rejected" 1 st.Exec.Cache.rejected;
+  check_int "recomputed, not served" 0 st.Exec.Cache.hits;
+  check "rejected entry deleted, fresh one stored" true (Sys.file_exists path);
+  (match ((List.hd rows).Exec.Job.result, (List.hd fresh).Exec.Job.result) with
+  | Ok a, Ok b -> check "recomputed result matches" true (Exec.Job.success_equal a b)
+  | _ -> Alcotest.fail "run failed")
+
+let test_cache_tampered_entry_fails_certification () =
+  with_temp_dir @@ fun dir ->
+  let task = sample_task "lion" in
+  let c = Exec.Cache.open_dir dir in
+  ignore (Exec.Portfolio.run ~cache:c [ task ]);
+  let path = Filename.concat dir (Exec.Job.key task ^ ".nova-cache") in
+  (* Drop one cube and fix the count: the entry still parses, but the
+     cover no longer implements the machine, so the independent checker
+     must refuse to serve it. *)
+  let lines = String.split_on_char '\n' (In_channel.with_open_bin path In_channel.input_all) in
+  let tampered =
+    let dropping = ref false in
+    List.filter_map
+      (fun l ->
+        if !dropping then begin
+          dropping := false;
+          None (* the first cube line after the header *)
+        end
+        else if String.length l > 6 && String.sub l 0 6 = "cubes " then begin
+          dropping := true;
+          let k = int_of_string (String.sub l 6 (String.length l - 6)) in
+          Some (Printf.sprintf "cubes %d" (k - 1))
+        end
+        else Some l)
+      lines
+  in
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc (String.concat "\n" tampered));
+  let c2 = Exec.Cache.open_dir dir in
+  let rows = Exec.Portfolio.run ~cache:c2 [ task ] in
+  let st = Exec.Cache.stats c2 in
+  check_int "tampered entry rejected by re-certification" 1 st.Exec.Cache.rejected;
+  check_int "tampered entry never served" 0 st.Exec.Cache.hits;
+  check "recomputed fine" true
+    (match (List.hd rows).Exec.Job.result with Ok _ -> true | Error _ -> false)
+
+let test_cache_refuses_uncertified_store () =
+  with_temp_dir @@ fun dir ->
+  let task = sample_task "lion" in
+  match Exec.Job.run task with
+  | Error _ -> Alcotest.fail "igreedy on lion failed"
+  | Ok s ->
+      (* Drop a cube: the cover no longer implements the machine, so
+         the pre-store certification must refuse to persist it. *)
+      let broken_cover =
+        Logic.Cover.make s.Exec.Job.cover.Logic.Cover.dom
+          (List.tl s.Exec.Job.cover.Logic.Cover.cubes)
+      in
+      let broken = { s with Exec.Job.cover = broken_cover } in
+      let c = Exec.Cache.open_dir dir in
+      Exec.Cache.store c task broken;
+      let st = Exec.Cache.stats c in
+      check_int "uncertified result not stored" 0 st.Exec.Cache.stores;
+      check "no entry file written" false
+        (Sys.file_exists (Exec.Cache.entry_path c task));
+      Exec.Cache.store c task s;
+      check_int "certified result stored" 1 (Exec.Cache.stats c).Exec.Cache.stores
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: determinism of the parallel portfolio *)
+
+let row_equal (a : Exec.Job.row) (b : Exec.Job.row) =
+  a.Exec.Job.task == b.Exec.Job.task
+  &&
+  match (a.Exec.Job.result, b.Exec.Job.result) with
+  | Ok x, Ok y -> Exec.Job.success_equal x y
+  | Error x, Error y -> x = y
+  | _ -> false
+
+let portfolio_tasks () =
+  List.concat_map
+    (fun name -> Exec.Portfolio.tasks_for (Benchmarks.Suite.find name))
+    quick_machines
+
+let test_portfolio_jobs_deterministic () =
+  let tasks = portfolio_tasks () in
+  let seq = Exec.Portfolio.run ~jobs:1 tasks in
+  let par = Exec.Portfolio.run ~jobs:4 tasks in
+  check_int "same row count" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b -> check "row identical across jobs levels" true (row_equal a b))
+    seq par
+
+let test_race_winner_deterministic () =
+  let tasks = Exec.Portfolio.tasks_for (Benchmarks.Suite.find "lion") in
+  let _, w1 = Exec.Portfolio.race ~jobs:1 tasks in
+  let rows4, w4 = Exec.Portfolio.race ~jobs:4 tasks in
+  check "race found a winner" true (w1 <> None);
+  check "same winner index at jobs=1 and jobs=4" true (w1 = w4);
+  match w4 with
+  | None -> Alcotest.fail "no winner"
+  | Some i ->
+      let row = List.nth rows4 i in
+      check "winner row is a success" true
+        (match row.Exec.Job.result with Ok _ -> true | Error _ -> false);
+      check "winner was computed or cached, not cancelled" true
+        (row.Exec.Job.origin <> Exec.Job.Cancelled_by_race)
+
+let test_race_warm_cache_same_winner () =
+  with_temp_dir @@ fun dir ->
+  let tasks = Exec.Portfolio.tasks_for (Benchmarks.Suite.find "dk15") in
+  let cold = Exec.Cache.open_dir dir in
+  let rows_cold, w_cold = Exec.Portfolio.race ~cache:cold tasks in
+  let warm = Exec.Cache.open_dir dir in
+  let rows_warm, w_warm = Exec.Portfolio.race ~cache:warm tasks in
+  check "cold and warm race agree on the winner" true (w_cold = w_warm);
+  match (w_cold, w_warm) with
+  | Some i, Some j ->
+      let a = List.nth rows_cold i and b = List.nth rows_warm j in
+      (match (a.Exec.Job.result, b.Exec.Job.result) with
+      | Ok x, Ok y -> check "winner row bit-identical" true (Exec.Job.success_equal x y)
+      | _ -> Alcotest.fail "winner row not a success")
+  | _ -> Alcotest.fail "race found no winner"
+
+let suite =
+  [
+    Alcotest.test_case "pool: jobs=4 map equals jobs=1" `Quick test_pool_map_deterministic;
+    Alcotest.test_case "pool: lowest-index exception re-raised" `Quick
+      test_pool_exception_propagates;
+    Alcotest.test_case "instrument: two-domain hammer loses no counts" `Quick
+      test_instrument_two_domain_hammer;
+    Alcotest.test_case "budget: cross-domain cancel trips within a poll interval" `Quick
+      test_budget_cross_domain_cancel;
+    Alcotest.test_case "cache: key sensitivity" `Quick test_cache_key_sensitivity;
+    Alcotest.test_case "cache: cold/warm round-trip is bit-identical" `Quick
+      test_cache_roundtrip;
+    Alcotest.test_case "cache: corrupt entry rejected and recomputed" `Quick
+      test_cache_corrupt_entry_recomputed;
+    Alcotest.test_case "cache: tampered entry fails re-certification" `Quick
+      test_cache_tampered_entry_fails_certification;
+    Alcotest.test_case "cache: uncertified success never stored" `Quick
+      test_cache_refuses_uncertified_store;
+    Alcotest.test_case "portfolio: jobs=4 rows equal jobs=1" `Quick
+      test_portfolio_jobs_deterministic;
+    Alcotest.test_case "race: winner independent of jobs" `Quick
+      test_race_winner_deterministic;
+    Alcotest.test_case "race: warm cache picks the same winner" `Quick
+      test_race_warm_cache_same_winner;
+  ]

@@ -32,4 +32,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("check", Test_check.suite);
       ("kiss-fuzz", Test_kiss_fuzz.suite);
+      ("exec", Test_exec.suite);
     ]

@@ -196,6 +196,34 @@ let quiet_arg =
   let doc = "Suppress fallback-degradation warnings on stderr." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a structured trace of the run (span tree with per-domain tracks) and write it \
+     to $(docv) on exit: $(b,.jsonl) gets the append-only event log, anything else the \
+     Chrome trace-event JSON loadable in Perfetto. Tracing never touches stdout, so traced \
+     and untraced runs are byte-identical there."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run [f] under tracing when [--trace FILE] was given: enable, stamp
+   the run manifest, run, stamp the totals, export. The only terminal
+   output is a one-line note on stderr — stdout stays untouched. *)
+let run_traced trace ~meta f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Trace.enable ();
+      Trace.set_meta
+        (("code_version", Trace.String Exec.Job.code_version)
+        :: ("nova_version", Trace.String "1.0.0")
+        :: meta);
+      let code = f () in
+      Trace.set_meta [ ("events", Trace.Int (Trace.event_count ())) ];
+      (match Trace.export ~path () with
+      | () -> Printf.eprintf "trace: %d events written to %s\n" (Trace.event_count ()) path
+      | exception Sys_error msg -> Printf.eprintf "nova: trace export failed: %s\n" msg);
+      code
+
 let budget_of budget_ms max_work =
   match (budget_ms, max_work) with
   | None, None -> Budget.unlimited
@@ -249,10 +277,34 @@ let certify_and_report m outcome r inject =
       | Some err -> fail_with err)
 
 let encode algo bits seed pla instrument budget_ms max_work fallback no_fallback certify inject
-    quiet path =
+    quiet trace path =
   if instrument then Instrument.enable ();
   if quiet then Harness.Driver.quiet := true;
   with_machine path @@ fun m ->
+  run_traced trace
+    ~meta:
+      [
+        ("machine", Trace.String m.Fsm.name);
+        ( "options",
+          Trace.String
+            (Printf.sprintf "bits=%s;budget_ms=%s;max_work=%s;fallback=%b;certify=%b"
+               (match bits with Some b -> string_of_int b | None -> "-")
+               (match budget_ms with Some ms -> Printf.sprintf "%g" ms | None -> "-")
+               (match max_work with Some w -> string_of_int w | None -> "-")
+               (fallback && not no_fallback) certify) );
+        ("jobs", Trace.Int 1);
+      ]
+  @@ fun () ->
+  (* The root span of the whole subcommand: the espresso phases of the
+     1-hot reference and the certification checks run outside the
+     driver's own spans, and inherit machine/algorithm from here. *)
+  Trace.with_span "cli.encode"
+    ~attrs:
+      [
+        ("machine", Trace.String m.Fsm.name);
+        ("algorithm", Trace.String (Harness.Driver.name (driver_algo_of algo seed)));
+      ]
+  @@ fun () ->
   let n = Fsm.num_states ~m in
   let budget = budget_of budget_ms max_work in
   let fallback = fallback && not no_fallback in
@@ -294,7 +346,7 @@ let encode_cmd =
     Term.(
       const encode $ algo_arg $ bits_arg $ seed_arg $ pla_arg $ instrument_arg $ budget_ms_arg
       $ max_work_arg $ fallback_arg $ no_fallback_arg $ certify_arg $ inject_arg $ quiet_arg
-      $ machine_arg)
+      $ trace_arg $ machine_arg)
 
 (* --- report: the parallel portfolio executor ----------------------------- *)
 
@@ -373,12 +425,22 @@ let row_cells (r : Exec.Job.row) =
 (* stdout carries only deterministic data (the table); wall-clock and
    cache statistics go to stderr so output is byte-comparable across
    --jobs levels and cold/warm cache runs. *)
-let report jobs race cache_dir no_cache heavy instrument quiet machines =
+let report jobs race cache_dir no_cache heavy instrument quiet trace machines =
   if instrument then Instrument.enable ();
   if quiet then Harness.Driver.quiet := true;
   match report_machines machines heavy with
   | Error err -> fail_with err
   | Ok ms ->
+      run_traced trace
+        ~meta:
+          [
+            ("machines", Trace.Int (List.length ms));
+            ( "options",
+              Trace.String
+                (Printf.sprintf "race=%b;cache=%b;heavy=%b" race (not no_cache) heavy) );
+            ("jobs", Trace.Int jobs);
+          ]
+      @@ fun () ->
       let cache =
         if no_cache then None
         else Some (Exec.Cache.open_dir (Option.value cache_dir ~default:(default_cache_dir ())))
@@ -458,7 +520,7 @@ let report_cmd =
           Results are bit-identical whatever $(b,--jobs) is.")
     Term.(
       const report $ jobs_arg $ race_arg $ cache_dir_arg $ no_cache_arg $ heavy_arg
-      $ instrument_arg $ quiet_arg $ machines_arg)
+      $ instrument_arg $ quiet_arg $ trace_arg $ machines_arg)
 
 (* --- minstates -------------------------------------------------------------- *)
 
@@ -567,6 +629,53 @@ let gen_cmd =
       $ int_opt "rows" "p" "Number of transition rows." 400
       $ int_opt "gen-seed" "g" "Generator seed." 4242)
 
+(* --- bench-diff ------------------------------------------------------------ *)
+
+let bench_diff_cmd =
+  let run threshold old_path new_path =
+    if threshold < 0. then
+      fail_with (Nova_error.Invalid_request "bench-diff: threshold must be non-negative")
+    else
+      let threshold = threshold /. 100. in
+      match (Bench_diff.load old_path, Bench_diff.load new_path) with
+      | exception Sys_error msg ->
+          fail_with (Nova_error.Invalid_request (Printf.sprintf "bench-diff: %s" msg))
+      | exception Json_min.Parse_error msg ->
+          fail_with (Nova_error.Invalid_request (Printf.sprintf "bench-diff: %s" msg))
+      | old_a, new_a -> (
+          match Bench_diff.diff ~threshold old_a new_a with
+          | exception Bench_diff.Schema_mismatch (a, b) ->
+              fail_with
+                (Nova_error.Invalid_request
+                   (Printf.sprintf "bench-diff: schema mismatch (%s vs %s)" a b))
+          | r ->
+              let n =
+                Bench_diff.report ~threshold Format.std_formatter ~old_path ~new_path r
+              in
+              if n = 0 then 0 else 1)
+  in
+  let threshold_arg =
+    let doc =
+      "Regression threshold in percent: a wall metric (keys ending in $(b,_s)) or size \
+       metric (num_cubes, literal_cost, area, nbits) that worsens by more than this much \
+       is a regression."
+    in
+    Arg.(value & opt float 25.0 & info [ "t"; "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let old_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.json" ~doc:"Baseline artifact.")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json" ~doc:"Candidate artifact.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two BENCH_*.json artifacts row by row and metric by metric; exit 1 when \
+          any wall or size metric regressed past the threshold (or a row disappeared), \
+          0 otherwise.")
+    Term.(const run $ threshold_arg $ old_arg $ new_arg)
+
 (* --- list ----------------------------------------------------------------- *)
 
 let list_cmd =
@@ -593,5 +702,5 @@ let () =
        (Cmd.group info
           [
             stats_cmd; constraints_cmd; encode_cmd; report_cmd; minstates_cmd; dot_cmd;
-            blif_cmd; gen_cmd; list_cmd;
+            blif_cmd; gen_cmd; list_cmd; bench_diff_cmd;
           ]))

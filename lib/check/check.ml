@@ -51,10 +51,17 @@ type t = { ok : bool; checks : outcome list }
 let run_check id f =
   let timer = Instrument.timer ("check." ^ check_name id) in
   let t0 = Unix.gettimeofday () in
-  let pass, detail =
+  let run () =
     match Instrument.time timer f with
     | r -> r
     | exception e -> (false, Printf.sprintf "checker exception: %s" (Printexc.to_string e))
+  in
+  let pass, detail =
+    if not (Trace.enabled ()) then run ()
+    else
+      Trace.with_span_result ("check." ^ check_name id) (fun () ->
+          let ((pass, _) as r) = run () in
+          (r, [ ("pass", Trace.Bool pass) ]))
   in
   { id; pass; detail; span_s = Unix.gettimeofday () -. t0 }
 

@@ -15,6 +15,17 @@ let c_minimize_calls = Instrument.counter "espresso.minimize_calls"
 
 let off_set ~on ~dc = Instrument.time t_offset (fun () -> Cover.complement (Cover.union on dc))
 
+(* Trace span around one minimizer phase, recording the cover size going
+   in (Begin) and coming out (End). Guarded so the off path computes no
+   sizes and allocates nothing. *)
+let traced name (cover : Cover.t) f =
+  if not (Trace.enabled ()) then f ()
+  else
+    Trace.with_span_result ~attrs:[ ("cubes_in", Trace.Int (Cover.size cover)) ] name
+      (fun () ->
+        let r = f () in
+        (r, [ ("cubes_out", Trace.Int (Cover.size r)) ]))
+
 (* Budget plumbing: [None] (the default) compiles to the historical
    unbudgeted behavior; with a budget, every per-cube step of
    expand/irredundant/reduce pre-checks it, so a deadline interrupts the
@@ -64,6 +75,7 @@ let expand_cube dom c ~off ~companions =
 
 let expand ?budget (cover : Cover.t) ~(off : Cover.t) =
   Instrument.time t_expand @@ fun () ->
+  traced "espresso.expand" cover @@ fun () ->
   let dom = cover.Cover.dom in
   (* Fewest-literal (largest) cubes first: their expansions swallow the
      most companions, shrinking the list early. *)
@@ -88,6 +100,7 @@ let expand ?budget (cover : Cover.t) ~(off : Cover.t) =
 
 let irredundant ?budget (cover : Cover.t) ~(dc : Cover.t) =
   Instrument.time t_irredundant @@ fun () ->
+  traced "espresso.irredundant" cover @@ fun () ->
   let dom = cover.Cover.dom in
   (* Try to remove big cubes last: small, specific cubes are more likely
      redundant leftovers of expansion. *)
@@ -113,6 +126,7 @@ let irredundant ?budget (cover : Cover.t) ~(dc : Cover.t) =
 
 let reduce ?budget (cover : Cover.t) ~(dc : Cover.t) =
   Instrument.time t_reduce @@ fun () ->
+  traced "espresso.reduce" cover @@ fun () ->
   let dom = cover.Cover.dom in
   (* Largest cubes first, per ESPRESSO: reducing big cubes frees room for
      subsequent reductions. *)
@@ -138,6 +152,7 @@ let reduce ?budget (cover : Cover.t) ~(dc : Cover.t) =
 
 let essential_primes ?budget (cover : Cover.t) ~(dc : Cover.t) =
   Instrument.time t_essential @@ fun () ->
+  traced "espresso.essential_primes" cover @@ fun () ->
   let dom = cover.Cover.dom in
   let essential c =
     (* Out of budget: treat the rest as non-essential (the set-aside is
@@ -158,6 +173,7 @@ let cost (c : Cover.t) = (Cover.size c, Cover.literal_cost c)
 let minimize_with_off ?budget ~(dc : Cover.t) ~(off : Cover.t) (on : Cover.t) =
   Instrument.bump c_minimize_calls;
   Instrument.time t_minimize @@ fun () ->
+  traced "espresso.minimize" on @@ fun () ->
   let dom = on.Cover.dom in
   let f = Cover.single_cube_containment on in
   if f.Cover.cubes = [] || drained budget then f
@@ -255,6 +271,7 @@ let reduce_care ?budget (cover : Cover.t) ~(care : Cover.t) =
 let minimize_care ?budget ~(off : Cover.t) (on : Cover.t) =
   Instrument.bump c_minimize_calls;
   Instrument.time t_minimize @@ fun () ->
+  traced "espresso.minimize" on @@ fun () ->
   let f = Cover.single_cube_containment on in
   if f.Cover.cubes = [] || drained budget then f
   else begin

@@ -31,6 +31,32 @@ let stats (c : t) : stats =
 
 let entry_path c (task : Job.task) = Filename.concat c.dir (Job.key task ^ ".nova-cache")
 
+(* Trace instants for the cache lifecycle (hit/miss/reject/store), each
+   carrying the task identity so a lane full of cache events still reads
+   on its own. *)
+let ev name (task : Job.task) =
+  if Trace.enabled () then
+    Trace.instant ("cache." ^ name)
+      ~attrs:
+        [ ("machine", Trace.String task.Job.machine.Fsm.name);
+          ("algorithm", Trace.String (Harness.Driver.name task.Job.algorithm)) ]
+
+(* Re-certification of an entry read from (or headed to) disk, as a span
+   with the verdict on the End event. *)
+let recertify (task : Job.task) s =
+  let run () =
+    Instrument.time t_certify (fun () -> Check.certify task.Job.machine (Job.artifacts_of s))
+  in
+  if not (Trace.enabled ()) then run ()
+  else
+    Trace.with_span_result "cache.recertify"
+      ~attrs:
+        [ ("machine", Trace.String task.Job.machine.Fsm.name);
+          ("algorithm", Trace.String (Harness.Driver.name task.Job.algorithm)) ]
+      (fun () ->
+        let cert = run () in
+        (cert, [ ("ok", Trace.Bool cert.Check.ok) ]))
+
 (* --- serialization ------------------------------------------------------ *)
 
 (* Line-oriented text; every cube and claimed face is a 0/1 bitvec
@@ -154,6 +180,7 @@ let find (c : t) (task : Job.task) =
   if not (Sys.file_exists path) then begin
     Atomic.incr c.misses;
     Instrument.bump c_miss;
+    ev "miss" task;
     None
   end
   else
@@ -162,6 +189,7 @@ let find (c : t) (task : Job.task) =
     | None ->
         (* Corrupt on disk: drop the entry and recompute. *)
         reject c path;
+        ev "reject" task;
         Atomic.incr c.misses;
         Instrument.bump c_miss;
         None
@@ -169,17 +197,16 @@ let find (c : t) (task : Job.task) =
         (* Never trust storage: the independent checker re-establishes
            the full contract against the machine before the entry is
            served. *)
-        let cert =
-          Instrument.time t_certify (fun () ->
-              Check.certify task.Job.machine (Job.artifacts_of s))
-        in
+        let cert = recertify task s in
         if cert.Check.ok then begin
           Atomic.incr c.hits;
           Instrument.bump c_hit;
+          ev "hit" task;
           Some s
         end
         else begin
           reject c path;
+          ev "reject" task;
           Atomic.incr c.misses;
           Instrument.bump c_miss;
           None
@@ -200,7 +227,8 @@ let store_certified (c : t) (task : Job.task) (s : Job.success) =
   with
   | () ->
       Atomic.incr c.stores;
-      Instrument.bump c_store
+      Instrument.bump c_store;
+      ev "store" task
   | exception _ -> ( try Sys.remove tmp with Sys_error _ -> ())
 
 (* The cache only ever holds certified results: a success the
@@ -208,7 +236,5 @@ let store_certified (c : t) (task : Job.task) (s : Job.success) =
    recomputed every run rather than laundered through the cache — so a
    warm-run rejection always means the entry changed on disk. *)
 let store (c : t) (task : Job.task) (s : Job.success) =
-  let cert =
-    Instrument.time t_certify (fun () -> Check.certify task.Job.machine (Job.artifacts_of s))
-  in
-  if cert.Check.ok then store_certified c task s
+  let cert = recertify task s in
+  if cert.Check.ok then store_certified c task s else ev "reject" task

@@ -26,8 +26,10 @@ let mapi ~jobs tasks ~f =
       loop ()
     in
     let domains =
-      List.init (jobs - 1) (fun _ ->
+      List.init (jobs - 1) (fun k ->
           Instrument.bump c_spawned;
+          if Trace.enabled () then
+            Trace.instant "pool.spawn" ~attrs:[ ("worker", Trace.Int (k + 1)) ];
           Domain.spawn worker)
     in
     worker ();

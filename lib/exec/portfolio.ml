@@ -30,8 +30,36 @@ let primary_stage = function
 let job_timer (task : Job.task) =
   Instrument.timer ("exec.job." ^ Harness.Driver.name task.Job.algorithm)
 
+let origin_name = function
+  | Job.Computed -> "computed"
+  | Job.Cached -> "cached"
+  | Job.Cancelled_by_race -> "cancelled"
+
+(* The per-job root span on whatever track (domain) picked the task up:
+   it carries machine/algorithm, so everything beneath it in a worker
+   lane — driver, espresso, cache, checks — self-describes by
+   inheritance. *)
+let traced_job (task : Job.task) f =
+  if not (Trace.enabled ()) then f ()
+  else
+    Trace.with_span_result "job"
+      ~attrs:
+        [ ("machine", Trace.String task.Job.machine.Fsm.name);
+          ("algorithm", Trace.String (Harness.Driver.name task.Job.algorithm)) ]
+      (fun () ->
+        let row = f () in
+        let end_attrs =
+          ("origin", Trace.String (origin_name row.Job.origin))
+          ::
+          (match row.Job.result with
+          | Ok s -> [ ("num_cubes", Trace.Int s.Job.num_cubes); ("area", Trace.Int s.Job.area) ]
+          | Error e -> [ ("error", Trace.String (Nova_error.to_string e)) ])
+        in
+        (row, end_attrs))
+
 (* One plain (non-racing) job: cache lookup, else compute and store. *)
 let run_one ?cache (task : Job.task) =
+  traced_job task @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let finish result origin =
     { Job.task; result; origin; wall_s = Unix.gettimeofday () -. t0 }
@@ -62,9 +90,20 @@ let race ?(jobs = 1) ?cache tasks =
      decreasing, so the final value is the deterministic winner no
      matter which domain lowered it first. *)
   let winner = Atomic.make max_int in
+  (* [note i] returns whether [i] became the (current) winner, so the
+     trace can record the take-over without a second atomic read. *)
   let rec note i =
     let w = Atomic.get winner in
-    if i < w && not (Atomic.compare_and_set winner w i) then note i
+    if i >= w then false
+    else if Atomic.compare_and_set winner w i then true
+    else note i
+  in
+  let won i (task : Job.task) =
+    if note i && Trace.enabled () then
+      Trace.instant "race.win"
+        ~attrs:
+          [ ("winner", Trace.Int i);
+            ("algorithm", Trace.String (Harness.Driver.name task.Job.algorithm)) ]
   in
   let budgets =
     Array.map (fun (t : Job.task) -> Budget.create ?max_work:t.Job.max_work ()) tasks
@@ -73,6 +112,12 @@ let race ?(jobs = 1) ?cache tasks =
     let w = Atomic.get winner in
     if w < n then
       for j = w + 1 to n - 1 do
+        (if Trace.enabled () && Budget.reason budgets.(j) = None then
+           Trace.instant "race.cancel"
+             ~attrs:
+               [ ("loser", Trace.Int j);
+                 ("algorithm",
+                  Trace.String (Harness.Driver.name tasks.(j).Job.algorithm)) ]);
         Budget.cancel budgets.(j)
       done
   in
@@ -88,13 +133,14 @@ let race ?(jobs = 1) ?cache tasks =
     }
   in
   let run_racer i (task : Job.task) =
+    traced_job task @@ fun () ->
     let t0 = Unix.gettimeofday () in
     if Atomic.get winner < i then cancelled_row task t0
     else
       match Option.bind cache (fun c -> Cache.find c task) with
       | Some s ->
           if acceptable (Ok s) then begin
-            note i;
+            won i task;
             cancel_losers ()
           end;
           { Job.task; result = Ok s; origin = Job.Cached; wall_s = Unix.gettimeofday () -. t0 }
@@ -104,7 +150,7 @@ let race ?(jobs = 1) ?cache tasks =
           in
           let raced_out = Budget.reason budgets.(i) = Some Budget.Cancelled in
           if (not raced_out) && acceptable result then begin
-            note i;
+            won i task;
             cancel_losers ()
           end;
           (* A loser that was tripped mid-run produced a degraded (or

@@ -251,8 +251,33 @@ let run_rung ~budget ~bits ~num_states ~ics ~problem (m : Fsm.t) algo rung =
   | Invalid_argument msg -> Error (Nova_error.Infeasible { stage; msg })
   | Budget.Out_of_budget reason -> Error (Nova_error.Budget_exhausted { stage; reason })
 
+(* The root span of one encoding run. Its machine/algorithm attributes
+   flow down by inheritance to every rung, stage, espresso-phase and
+   check span opened below it on the same track, which is how every span
+   in an exported trace ends up self-describing. *)
+let traced_encode (m : Fsm.t) algo f =
+  if not (Trace.enabled ()) then f ()
+  else
+    Trace.with_span_result "driver.encode"
+      ~attrs:
+        [ ("machine", Trace.String m.Fsm.name); ("algorithm", Trace.String (name algo)) ]
+      (fun () ->
+        let r = f () in
+        let end_attrs =
+          match r with
+          | Ok o ->
+              [
+                ("produced_by", Trace.String (rung_name o.produced_by));
+                ("nbits", Trace.Int o.encoding.Encoding.nbits);
+                ("degradations", Trace.Int (List.length o.degradations));
+              ]
+          | Error err -> [ ("error", Trace.String (Nova_error.to_string err)) ]
+        in
+        (r, end_attrs))
+
 let encode ?bits ?(budget = Budget.unlimited) ?(fallback = true) (m : Fsm.t) algo =
   Instrument.time t_encode @@ fun () ->
+  traced_encode m algo @@ fun () ->
   let num_states = Fsm.num_states ~m in
   (* Shared upstream artifacts, computed at most once per call whatever
      rung (or rungs) the ladder visits. *)
@@ -275,10 +300,30 @@ let encode ?bits ?(budget = Budget.unlimited) ?(fallback = true) (m : Fsm.t) alg
         | [] -> Error (Nova_error.Invalid_request "empty fallback ladder"))
     | rung :: rest -> (
         let timer = Instrument.timer ("pipeline.rung." ^ rung_name rung) in
-        match
+        let run () =
           Instrument.time timer (fun () ->
               run_rung ~budget ~bits ~num_states ~ics ~problem m algo rung)
-        with
+        in
+        let result =
+          if not (Trace.enabled ()) then run ()
+          else
+            Trace.with_span_result ("rung." ^ rung_name rung)
+              ~attrs:[ ("rung", Trace.String (rung_name rung)) ]
+              (fun () ->
+                let r = run () in
+                let end_attrs =
+                  ("spent", Trace.Int (Budget.spent budget))
+                  ::
+                  (match r with
+                  | Ok (e, _) ->
+                      [ ("ok", Trace.Bool true); ("nbits", Trace.Int e.Encoding.nbits) ]
+                  | Error err ->
+                      [ ("ok", Trace.Bool false);
+                        ("error", Trace.String (Nova_error.to_string err)) ])
+                in
+                (r, end_attrs))
+        in
+        match result with
         | Ok (encoding, claims) ->
             let o =
               { encoding; algorithm = algo; produced_by = rung; degradations = List.rev degraded;
@@ -287,7 +332,13 @@ let encode ?bits ?(budget = Budget.unlimited) ?(fallback = true) (m : Fsm.t) alg
             (if not !quiet then
                match degradation_warning o with Some w -> prerr_endline w | None -> ());
             Ok o
-        | Error err -> descend ((rung, err) :: degraded) rest)
+        | Error err ->
+            if Trace.enabled () then
+              Trace.instant "driver.degradation"
+                ~attrs:
+                  [ ("rung", Trace.String (rung_name rung));
+                    ("error", Trace.String (Nova_error.to_string err)) ];
+            descend ((rung, err) :: degraded) rest)
   in
   descend [] (ladder ~fallback algo)
 
@@ -296,6 +347,15 @@ let report ?bits ?budget ?fallback m algo =
   | Error err -> Error err
   | Ok outcome ->
       let impl =
-        Instrument.time t_implement (fun () -> Encoded.implement ?budget m outcome.encoding)
+        Instrument.time t_implement @@ fun () ->
+        if not (Trace.enabled ()) then Encoded.implement ?budget m outcome.encoding
+        else
+          Trace.with_span_result "driver.implement"
+            ~attrs:
+              [ ("machine", Trace.String m.Fsm.name);
+                ("algorithm", Trace.String (name algo)) ]
+            (fun () ->
+              let impl = Encoded.implement ?budget m outcome.encoding in
+              (impl, [ ("num_cubes", Trace.Int impl.Encoded.num_cubes) ]))
       in
       Ok (outcome, impl)

@@ -39,51 +39,71 @@ let locked f =
 
 type counter = { c_name : string; count : int Atomic.t }
 
-type timer = { t_name : string; mutable seconds : float; mutable t_calls : int }
+(* [running] holds the ids of the domains currently inside [time] on
+   this timer — the reentrancy debug assertion below keys on it. *)
+type timer = {
+  t_name : string;
+  mutable seconds : float;
+  mutable t_calls : int;
+  mutable running : int list;
+}
 
 (* Depth histograms: bucket [i] counts observations of value [i];
    anything >= the bucket count lands in [overflow]. *)
 type histogram = { h_name : string; h_buckets : int array; mutable overflow : int }
 
-let all_counters : counter list ref = ref []
-let all_timers : timer list ref = ref []
-let all_histograms : histogram list ref = ref []
+(* Registries are hash tables keyed by name, so [find_or_create] is
+   O(1) however many probes exist; every read-out sorts by name, which
+   keeps [report]/[to_json] deterministic regardless of registration
+   (hashing) order. *)
+let all_counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let all_timers : (string, timer) Hashtbl.t = Hashtbl.create 64
+let all_histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
-let find_or_create registry ~name ~get_name ~make =
+let find_or_create registry ~name ~make =
   locked @@ fun () ->
-  match List.find_opt (fun x -> get_name x = name) !registry with
+  match Hashtbl.find_opt registry name with
   | Some x -> x
   | None ->
       let x = make () in
-      registry := !registry @ [ x ];
+      Hashtbl.add registry name x;
       x
 
 let counter name =
-  find_or_create all_counters ~name
-    ~get_name:(fun c -> c.c_name)
-    ~make:(fun () -> { c_name = name; count = Atomic.make 0 })
+  find_or_create all_counters ~name ~make:(fun () -> { c_name = name; count = Atomic.make 0 })
 
 let bump c = if !on then Atomic.incr c.count
 let add c n = if !on then ignore (Atomic.fetch_and_add c.count n)
 
 let timer name =
   find_or_create all_timers ~name
-    ~get_name:(fun t -> t.t_name)
-    ~make:(fun () -> { t_name = name; seconds = 0.; t_calls = 0 })
+    ~make:(fun () -> { t_name = name; seconds = 0.; t_calls = 0; running = [] })
 
 (* [time t f] accounts the wall-clock time of [f ()] to [t]. Safe under
-   exceptions; nested use of the *same* timer double-counts, so timers
-   are attached only to non-reentrant entry points. Concurrent use from
-   several domains accumulates the domains' spans (total busy time, not
-   wall-clock). *)
+   exceptions. Nested use of the *same* timer on one domain would
+   double-count its span, so timers must only be attached to
+   non-reentrant entry points — enforced here by a debug assertion on
+   the instrumented path (the off path stays a load and a branch).
+   Concurrent use from several domains is fine and accumulates the
+   domains' spans (total busy time, not wall-clock). *)
 let time t f =
   if not !on then f ()
   else begin
+    let d = (Domain.self () :> int) in
+    locked (fun () ->
+        if List.mem d t.running then
+          invalid_arg
+            (Printf.sprintf
+               "Instrument.time: timer %S re-entered on the same domain (nested use \
+                double-counts; attach timers to non-reentrant entry points only)"
+               t.t_name);
+        t.running <- d :: t.running);
     let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
         let dt = Unix.gettimeofday () -. t0 in
         locked (fun () ->
+            t.running <- List.filter (fun x -> x <> d) t.running;
             t.seconds <- t.seconds +. dt;
             t.t_calls <- t.t_calls + 1))
       f
@@ -93,7 +113,6 @@ let default_buckets = 32
 
 let histogram ?(buckets = default_buckets) name =
   find_or_create all_histograms ~name
-    ~get_name:(fun h -> h.h_name)
     ~make:(fun () -> { h_name = name; h_buckets = Array.make buckets 0; overflow = 0 })
 
 let observe h v =
@@ -105,27 +124,35 @@ let observe h v =
 
 let reset () =
   locked @@ fun () ->
-  List.iter (fun c -> Atomic.set c.count 0) !all_counters;
-  List.iter
-    (fun t ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.count 0) all_counters;
+  Hashtbl.iter
+    (fun _ t ->
       t.seconds <- 0.;
       t.t_calls <- 0)
-    !all_timers;
-  List.iter
-    (fun h ->
+    all_timers;
+  Hashtbl.iter
+    (fun _ h ->
       Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
       h.overflow <- 0)
-    !all_histograms
+    all_histograms
 
+(* Names are unique per registry, so sorting the tuples sorts by name. *)
 let counters () =
-  locked @@ fun () -> List.map (fun c -> (c.c_name, Atomic.get c.count)) !all_counters
+  locked (fun () ->
+      Hashtbl.fold (fun _ c acc -> (c.c_name, Atomic.get c.count) :: acc) all_counters [])
+  |> List.sort compare
 
 let timers () =
-  locked @@ fun () -> List.map (fun t -> (t.t_name, t.seconds, t.t_calls)) !all_timers
+  locked (fun () ->
+      Hashtbl.fold (fun _ t acc -> (t.t_name, t.seconds, t.t_calls) :: acc) all_timers [])
+  |> List.sort compare
 
 let histograms () =
-  locked @@ fun () ->
-  List.map (fun h -> (h.h_name, Array.copy h.h_buckets, h.overflow)) !all_histograms
+  locked (fun () ->
+      Hashtbl.fold
+        (fun _ h acc -> (h.h_name, Array.copy h.h_buckets, h.overflow) :: acc)
+        all_histograms [])
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 (* Highest non-empty bucket, so reports and JSON stay short. *)
 let trimmed_buckets buckets =

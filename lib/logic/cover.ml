@@ -232,7 +232,11 @@ let rec taut_fast dom cubes depth space =
                    else !cube_minterms * card)
             done;
             if !anchor < 0 then has_full := true;
-            minterms := min space (!minterms + min space !cube_minterms);
+            (* Saturating add: both operands are <= space <= max_int, so
+               the sum wraps at most once — a negative result means the
+               true sum exceeded max_int and must clamp to [space]. *)
+            (let s = !minterms + min space !cube_minterms in
+             minterms := if s < 0 then space else min space s);
             !anchor)
           cubes
       in

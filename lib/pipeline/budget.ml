@@ -34,9 +34,15 @@ let create ?max_work ?deadline_ms ?cancel () =
 
 let sub ?max_work parent = make ~parent ?max_work ()
 
+let reason_name = function Work -> "work" | Deadline -> "deadline" | Cancelled -> "cancelled"
+
 (* Trip [b] with [r] unless already tripped: the first reason wins, even
-   against a concurrent trip from another domain. *)
-let trip b r = ignore (Atomic.compare_and_set b.tripped None (Some r))
+   against a concurrent trip from another domain. The winning trip emits
+   a trace instant on the tripping domain's track. *)
+let trip b r =
+  if Atomic.compare_and_set b.tripped None (Some r) && Trace.enabled () then
+    Trace.instant "budget.trip"
+      ~attrs:[ ("reason", Trace.String (reason_name r)); ("spent", Trace.Int b.work) ]
 
 let cancel b = trip b Cancelled
 

@@ -33,7 +33,9 @@ let force t =
              without instrumentation); the Instrument span only records when
              probes are enabled. *)
           let t0 = Unix.gettimeofday () in
-          let v = Instrument.time t.timer f in
+          let v =
+            Trace.with_span ("stage." ^ t.name) (fun () -> Instrument.time t.timer f)
+          in
           t.elapsed <- Unix.gettimeofday () -. t0;
           t.state <- Done v;
           v)

@@ -1,0 +1,52 @@
+(** Regression differ for the repo's BENCH_*.json artifacts. Rows match
+    by identity fields (name/mode/algorithm), numeric metrics flatten
+    with dotted keys, and only wall ("*_s") and size (num_cubes,
+    literal_cost, area, nbits) metrics can regress — everything else is
+    reported as a note. A row missing from NEW counts as a regression. *)
+
+type artifact = {
+  schema : string;
+  rows : (string * (string * float) list) list;
+}
+
+type direction = Wall | Size | Neutral
+
+type delta = {
+  row : string;
+  metric : string;
+  old_v : float;
+  new_v : float;
+  regression : bool;
+}
+
+type result = {
+  deltas : delta list;
+  missing : string list;
+  added : string list;
+  rows_compared : int;
+  metrics_compared : int;
+}
+
+exception Schema_mismatch of string * string
+
+val default_threshold : float
+(** 0.25 — a metric regresses when it worsens by more than 25%. *)
+
+val classify : string -> direction
+
+val load : string -> artifact
+(** @raise Json_min.Parse_error on malformed input, [Sys_error] on I/O. *)
+
+val diff : ?threshold:float -> artifact -> artifact -> result
+(** @raise Schema_mismatch when the two artifacts declare different schemas. *)
+
+val num_regressions : result -> int
+
+val report :
+  ?threshold:float ->
+  Format.formatter ->
+  old_path:string ->
+  new_path:string ->
+  result ->
+  int
+(** Print the human-readable diff; returns [num_regressions]. *)

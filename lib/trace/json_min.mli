@@ -1,0 +1,22 @@
+(** Minimal dependency-free JSON reader for the repo's own artifacts
+    (trace exports, BENCH_*.json, Instrument.to_json). Numbers are
+    floats; objects keep key order; non-ASCII bytes in strings pass
+    through verbatim. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val of_string : string -> t
+val of_file : string -> t
+
+val member : string -> t -> t option
+val to_string : t -> string option
+val to_float : t -> float option
+val to_list : t -> t list option

@@ -86,6 +86,31 @@ grep -q "1 rejected" "$TMP/corrupt-stderr.txt" \
   || { echo "corrupt entry was not rejected"; cat "$TMP/corrupt-stderr.txt"; exit 1; }
 echo "  corrupt entry rejected, recomputed, exit 0: ok"
 
+echo "== trace smoke: traced stdout identical, trace validates =="
+VALIDATE=_build/default/scripts/validate_trace.exe
+$NOVA report --jobs 2 --no-cache lion dk15 > "$TMP/report-untraced.txt" 2>/dev/null
+$NOVA report --jobs 2 --no-cache lion dk15 --trace "$TMP/trace.json" \
+  > "$TMP/report-traced.txt" 2>/dev/null
+diff "$TMP/report-untraced.txt" "$TMP/report-traced.txt" \
+  || { echo "tracing perturbed the report stdout"; exit 1; }
+$VALIDATE "$TMP/trace.json" \
+  || { echo "Chrome trace failed validation"; exit 1; }
+$NOVA report --jobs 2 --no-cache lion dk15 --trace "$TMP/trace.jsonl" \
+  > /dev/null 2>/dev/null
+$VALIDATE "$TMP/trace.jsonl" \
+  || { echo "JSONL trace failed validation"; exit 1; }
+echo "  traced report bit-identical, both export formats validate: ok"
+
+echo "== bench-diff smoke: self-diff clean, injected regression fails =="
+$NOVA bench-diff BENCH_parallel.json BENCH_parallel.json > /dev/null \
+  || { echo "self bench-diff reported a regression"; exit 1; }
+sed 's/"seq_wall_s":[0-9.eE+-]*/"seq_wall_s":9999.0/' BENCH_parallel.json \
+  > "$TMP/bench-regressed.json"
+rc=0; $NOVA bench-diff BENCH_parallel.json "$TMP/bench-regressed.json" \
+  > /dev/null || rc=$?
+[ "$rc" -eq 1 ] || { echo "injected regression: expected exit 1, got $rc"; exit 1; }
+echo "  bench-diff: self-diff exit 0, injected slowdown exit 1: ok"
+
 # Bench smokes run inside $TMP: they write BENCH_*.json into the
 # current directory, and the repo root holds the committed full-mode
 # artifacts, which a quick run must not clobber.

@@ -1,0 +1,34 @@
+(* Standalone trace checker used by CI: balanced Begin/End spans per
+   track, per-track monotone timestamps, machine/algorithm attributes on
+   every span, and a run manifest naming the code version. Accepts both
+   export formats (.jsonl event log, Chrome trace JSON).
+
+     validate_trace TRACE [TRACE...]
+
+   Exit 0 when every file is well formed, 1 otherwise, 2 on usage. *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: validate_trace TRACE [TRACE...]";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match Validate.check_file path with
+      | r ->
+          if Validate.ok r then Printf.printf "%s: OK (%s)\n" path (Validate.summary r)
+          else begin
+            failed := true;
+            Printf.printf "%s: INVALID (%s)\n" path (Validate.summary r);
+            List.iter (fun e -> Printf.printf "  %s\n" e) r.Validate.errors
+          end
+      | exception Json_min.Parse_error msg ->
+          failed := true;
+          Printf.printf "%s: unparseable: %s\n" path msg
+      | exception Sys_error msg ->
+          failed := true;
+          Printf.printf "%s: %s\n" path msg)
+    args;
+  exit (if !failed then 1 else 0)

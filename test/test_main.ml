@@ -33,4 +33,5 @@ let () =
       ("check", Test_check.suite);
       ("kiss-fuzz", Test_kiss_fuzz.suite);
       ("exec", Test_exec.suite);
+      ("trace", Test_trace.suite);
     ]

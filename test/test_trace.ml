@@ -1,0 +1,337 @@
+(* Tests for the tracing layer and its satellites: the taut_fast
+   saturation fix behind the kiss certification failure, the timer
+   reentrancy assertion, JSON escaping in both serializers (round-tripped
+   through the in-repo parser), concurrent two-domain span emission, the
+   trace validator, and the bench regression differ. *)
+
+open Logic
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "nova-trace-test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* Run [f] with tracing on and a clean buffer, restoring the off state
+   whatever happens, so trace tests cannot leak into other suites. *)
+let with_trace f =
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: the cover-containment false negative (integer overflow) *)
+
+(* 63 binary variables: the product space has 2^63 minterms, which
+   overflows [Domain.num_minterms], so the tautology cutoff runs with
+   space = max_int and its minterm accumulator must saturate instead of
+   wrapping negative. x0=0 ∪ x0=1 is the whole space — before the fix
+   this exact shape reported "not a tautology". *)
+let test_overflow_tautology () =
+  let dom = Domain.create (Array.make 63 2) in
+  let cover = Cover.make dom [ Cube.literal dom 0 [ 0 ]; Cube.literal dom 0 [ 1 ] ] in
+  check "x0=0 | x0=1 is a tautology over 63 vars" true (Cover.tautology cover);
+  check "it covers the universe" true (Cover.covers cover (Cover.universe dom));
+  check "it covers the full cube" true (Cover.covers_cube cover (Cube.full dom))
+
+(* The end-to-end shape that exposed the bug: the kiss encoding of a
+   40-state generated machine needs 51 state bits, whose encoded PLA
+   domain overflows the minterm count, and before the fix the
+   cover-containment certificate rejected a correct cover. Pinned. *)
+let test_kiss_overflow_certification () =
+  let m =
+    Benchmarks.Generator.generate ~name:"gen-overflow" ~num_inputs:6 ~num_outputs:6
+      ~num_states:40 ~num_rows:160 ~seed:4242
+  in
+  match Harness.Driver.report m Harness.Driver.Kiss with
+  | Error e -> Alcotest.failf "kiss report failed: %s" (Nova_error.to_string e)
+  | Ok (outcome, r) ->
+      let cert = Check.certify m (Harness.Certify.artifacts_of outcome r) in
+      if not cert.Check.ok then Alcotest.failf "kiss certification: %s" (Check.summary cert)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: timer reentrancy assertion *)
+
+let test_timer_reentrancy_raises () =
+  let was_on = Instrument.enabled () in
+  Instrument.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_on then Instrument.disable ())
+    (fun () ->
+      let t = Instrument.timer "test.trace.reentrant" in
+      (* Distinct timers nest fine. *)
+      let u = Instrument.timer "test.trace.reentrant-other" in
+      Instrument.time t (fun () -> Instrument.time u ignore);
+      (match Instrument.time t (fun () -> Instrument.time t ignore) with
+      | () -> Alcotest.fail "nested same-timer use must raise while instrumented"
+      | exception Invalid_argument _ -> ());
+      (* The assertion unwinds cleanly: the timer is reusable after. *)
+      Instrument.time t ignore)
+
+let test_timer_reentrancy_off_path () =
+  check "instrumentation is off" false (Instrument.enabled ());
+  let t = Instrument.timer "test.trace.reentrant-off" in
+  (* Off path: no bookkeeping at all, so nesting is not even observed. *)
+  check_int "nested off-path call runs" 7 (Instrument.time t (fun () -> Instrument.time t (fun () -> 7)));
+  let calls =
+    List.filter_map
+      (fun (name, _, calls) -> if name = "test.trace.reentrant-off" then Some calls else None)
+      (Instrument.timers ())
+  in
+  check_int "off path recorded nothing" 0 (List.fold_left ( + ) 0 calls)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: deterministic sorted registries *)
+
+let test_instrument_sorted_output () =
+  ignore (Instrument.counter "test.zzz.last");
+  ignore (Instrument.counter "test.aaa.first");
+  let names = List.map fst (Instrument.counters ()) in
+  check "counters sorted by name" true (names = List.sort compare names);
+  let tnames = List.map (fun (n, _, _) -> n) (Instrument.timers ()) in
+  check "timers sorted by name" true (tnames = List.sort compare tnames)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: JSON escaping, round-tripped through the in-repo parser *)
+
+let nasty = "quote\" back\\slash\nnewline\ttab \001ctl ünïcode π \127"
+
+let test_trace_json_escape () =
+  let quoted = "\"" ^ Trace.json_escape nasty ^ "\"" in
+  match Json_min.of_string quoted with
+  | Json_min.Str s -> check_str "escaped string round-trips" nasty s
+  | _ -> Alcotest.fail "escaped string did not parse as a string"
+
+let test_instrument_json_escaping () =
+  let was_on = Instrument.enabled () in
+  Instrument.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_on then Instrument.disable ())
+    (fun () ->
+      let name = "test.trace.nasty " ^ nasty in
+      Instrument.bump (Instrument.counter name);
+      let j = Json_min.of_string (Instrument.to_json ()) in
+      match Option.bind (Json_min.member "counters" j) (Json_min.member name) with
+      | Some (Json_min.Num n) -> check "nasty counter serialized and found" true (n >= 1.)
+      | _ -> Alcotest.fail "nasty counter name did not survive to_json")
+
+let test_trace_export_attr_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  with_trace @@ fun () ->
+  Trace.set_meta [ ("code_version", Trace.String "test/1"); ("note", Trace.String nasty) ];
+  Trace.with_span "outer"
+    ~attrs:[ ("machine", Trace.String nasty); ("algorithm", Trace.String "kiss") ]
+    (fun () ->
+      Trace.instant "tick" ~attrs:[ ("n", Trace.Int 3); ("f", Trace.Float 1.5) ];
+      Trace.with_span "inner" (fun () -> ()));
+  List.iter
+    (fun file ->
+      let path = Filename.concat dir file in
+      Trace.export ~path ();
+      let events, meta = Validate.decode_file path in
+      let r = Validate.check (events, meta) in
+      if not (Validate.ok r) then
+        Alcotest.failf "%s: %s" file (String.concat "; " r.Validate.errors);
+      check_int (file ^ ": events") 5 r.Validate.num_events;
+      check_int (file ^ ": spans") 2 r.Validate.num_spans;
+      check_int (file ^ ": instants") 1 r.Validate.num_instants;
+      (match List.assoc_opt "note" meta with
+      | Some (Trace.String s) -> check_str (file ^ ": meta round-trips") nasty s
+      | _ -> Alcotest.fail (file ^ ": meta note missing"));
+      (* The inner span inherited the outer's attributes. *)
+      match List.find_opt (fun (e : Trace.event) -> e.Trace.name = "inner") events with
+      | Some e -> (
+          match List.assoc_opt "machine" e.Trace.attrs with
+          | Some (Trace.String s) -> check_str (file ^ ": inherited attr") nasty s
+          | _ -> Alcotest.fail (file ^ ": inner span lost the inherited machine attr"))
+      | None -> Alcotest.fail (file ^ ": inner span missing"))
+    [ "t.json"; "t.jsonl" ]
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: two-domain concurrent span emission *)
+
+let test_two_domain_hammer () =
+  with_temp_dir @@ fun dir ->
+  with_trace @@ fun () ->
+  Trace.set_meta [ ("code_version", Trace.String "test/1") ];
+  let rounds = 200 in
+  let emit tag () =
+    for i = 1 to rounds do
+      Trace.with_span "work"
+        ~attrs:
+          [ ("machine", Trace.String tag); ("algorithm", Trace.String "hammer");
+            ("i", Trace.Int i) ]
+        (fun () ->
+          Trace.instant "step";
+          Trace.with_span "nested" (fun () -> Trace.annotate [ ("deep", Trace.Bool true) ]))
+    done
+  in
+  let d1 = Stdlib.Domain.spawn (emit "d1") and d2 = Stdlib.Domain.spawn (emit "d2") in
+  emit "main" ();
+  Stdlib.Domain.join d1;
+  Stdlib.Domain.join d2;
+  let path = Filename.concat dir "hammer.jsonl" in
+  Trace.export ~path ();
+  let r = Validate.check_file path in
+  if not (Validate.ok r) then
+    Alcotest.failf "hammer trace invalid: %s"
+      (String.concat "; " (List.filteri (fun i _ -> i < 5) r.Validate.errors));
+  check_int "three tracks" 3 r.Validate.num_tracks;
+  check_int "all spans present" (3 * rounds * 2) r.Validate.num_spans;
+  check_int "all instants present" (3 * rounds) r.Validate.num_instants
+
+(* The validator actually rejects malformed traces: an End closing the
+   wrong span, and timestamps running backwards on one track. *)
+let test_validator_rejects () =
+  let evs ts_backwards =
+    let e kind name ts : Trace.event =
+      { Trace.kind; name; ts; track = 0;
+        attrs = [ ("machine", Trace.String "m"); ("algorithm", Trace.String "a") ] }
+    in
+    if ts_backwards then [ e Trace.Begin "s" 10.; e Trace.End "s" 5. ]
+    else [ e Trace.Begin "s" 1.; e Trace.End "wrong" 2. ]
+  in
+  let meta = [ ("code_version", Trace.String "test/1") ] in
+  check "mismatched end caught" false (Validate.ok (Validate.check (evs false, meta)));
+  check "backwards timestamps caught" false (Validate.ok (Validate.check (evs true, meta)));
+  let no_attrs : Trace.event list =
+    [ { Trace.kind = Trace.Begin; name = "s"; ts = 1.; track = 0; attrs = [] };
+      { Trace.kind = Trace.End; name = "s"; ts = 2.; track = 0; attrs = [] } ]
+  in
+  check "missing machine/algorithm caught" false (Validate.ok (Validate.check (no_attrs, meta)))
+
+(* ------------------------------------------------------------------ *)
+(* bench-diff *)
+
+let write_artifact dir name text =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  path
+
+let base_artifact =
+  {|{"schema":"nova-bench-espresso/1","benchmarks":[
+    {"name":"lion","algorithm":"kiss","minimize_s":0.100,"num_cubes":10,"area":120,"states":4},
+    {"name":"dk16","algorithm":"kiss","minimize_s":0.500,"num_cubes":50,"area":900,"states":27}]}|}
+
+let test_bench_diff_identical () =
+  with_temp_dir @@ fun dir ->
+  let p = write_artifact dir "a.json" base_artifact in
+  let a = Bench_diff.load p in
+  let r = Bench_diff.diff a a in
+  check_int "no regressions on identical artifacts" 0 (Bench_diff.num_regressions r);
+  check_int "no deltas either" 0 (List.length r.Bench_diff.deltas);
+  check_int "both rows compared" 2 r.Bench_diff.rows_compared
+
+let test_bench_diff_regressions () =
+  with_temp_dir @@ fun dir ->
+  let old_a = Bench_diff.load (write_artifact dir "old.json" base_artifact) in
+  (* lion: wall 4x slower (regression); dk16: cubes 10% up (under the
+     default 25% threshold, a delta but not a regression), states
+     changed (neutral: never a regression). *)
+  let new_text =
+    {|{"schema":"nova-bench-espresso/1","benchmarks":[
+      {"name":"lion","algorithm":"kiss","minimize_s":0.400,"num_cubes":10,"area":120,"states":4},
+      {"name":"dk16","algorithm":"kiss","minimize_s":0.500,"num_cubes":55,"area":900,"states":28}]}|}
+  in
+  let new_a = Bench_diff.load (write_artifact dir "new.json" new_text) in
+  let r = Bench_diff.diff old_a new_a in
+  check_int "exactly one regression" 1 (Bench_diff.num_regressions r);
+  let reg = List.find (fun d -> d.Bench_diff.regression) r.Bench_diff.deltas in
+  check_str "the wall metric regressed" "minimize_s" reg.Bench_diff.metric;
+  check_str "on the lion row" "lion/kiss" reg.Bench_diff.row;
+  (* A 10x size blow-up past the threshold is a regression too. *)
+  let blow =
+    {|{"schema":"nova-bench-espresso/1","benchmarks":[
+      {"name":"lion","algorithm":"kiss","minimize_s":0.100,"num_cubes":100,"area":120,"states":4},
+      {"name":"dk16","algorithm":"kiss","minimize_s":0.500,"num_cubes":50,"area":900,"states":27}]}|}
+  in
+  let r2 = Bench_diff.diff old_a (Bench_diff.load (write_artifact dir "blow.json" blow)) in
+  check_int "size regression detected" 1 (Bench_diff.num_regressions r2)
+
+let test_bench_diff_missing_row_and_improvement () =
+  with_temp_dir @@ fun dir ->
+  let old_a = Bench_diff.load (write_artifact dir "old.json" base_artifact) in
+  (* dk16 vanished; lion got faster and smaller: improvements are never
+     regressions, the dropped row is. *)
+  let new_text =
+    {|{"schema":"nova-bench-espresso/1","benchmarks":[
+      {"name":"lion","algorithm":"kiss","minimize_s":0.010,"num_cubes":5,"area":60,"states":4}]}|}
+  in
+  let r = Bench_diff.diff old_a (Bench_diff.load (write_artifact dir "new.json" new_text)) in
+  check_int "missing row is the only regression" 1 (Bench_diff.num_regressions r);
+  check "it is reported as missing" true (r.Bench_diff.missing = [ "dk16/kiss" ]);
+  check "no delta is flagged" true
+    (List.for_all (fun d -> not d.Bench_diff.regression) r.Bench_diff.deltas)
+
+let test_bench_diff_schema_mismatch () =
+  with_temp_dir @@ fun dir ->
+  let a = Bench_diff.load (write_artifact dir "a.json" base_artifact) in
+  let b =
+    Bench_diff.load
+      (write_artifact dir "b.json" {|{"schema":"nova-bench-other/1","benchmarks":[]}|})
+  in
+  match Bench_diff.diff a b with
+  | _ -> Alcotest.fail "schema mismatch must raise"
+  | exception Bench_diff.Schema_mismatch _ -> ()
+
+let test_bench_diff_threshold () =
+  with_temp_dir @@ fun dir ->
+  let old_a = Bench_diff.load (write_artifact dir "old.json" base_artifact) in
+  let slower =
+    {|{"schema":"nova-bench-espresso/1","benchmarks":[
+      {"name":"lion","algorithm":"kiss","minimize_s":0.115,"num_cubes":10,"area":120,"states":4},
+      {"name":"dk16","algorithm":"kiss","minimize_s":0.500,"num_cubes":50,"area":900,"states":27}]}|}
+  in
+  let new_a = Bench_diff.load (write_artifact dir "new.json" slower) in
+  (* 15% slower: inside the default 25% threshold, outside a 10% one. *)
+  check_int "within default threshold" 0 (Bench_diff.num_regressions (Bench_diff.diff old_a new_a));
+  check_int "past a tight threshold" 1
+    (Bench_diff.num_regressions (Bench_diff.diff ~threshold:0.10 old_a new_a))
+
+let suite =
+  [
+    Alcotest.test_case "taut_fast saturates past-max_int spaces (overflow fix)" `Quick
+      test_overflow_tautology;
+    Alcotest.test_case "kiss on a 51-bit encoding certifies clean (pinned)" `Quick
+      test_kiss_overflow_certification;
+    Alcotest.test_case "instrument: same-timer nesting raises on the on path" `Quick
+      test_timer_reentrancy_raises;
+    Alcotest.test_case "instrument: off path has no reentrancy bookkeeping" `Quick
+      test_timer_reentrancy_off_path;
+    Alcotest.test_case "instrument: registries read out sorted by name" `Quick
+      test_instrument_sorted_output;
+    Alcotest.test_case "trace: json_escape round-trips control/quote/unicode" `Quick
+      test_trace_json_escape;
+    Alcotest.test_case "instrument: to_json escapes hostile names" `Quick
+      test_instrument_json_escaping;
+    Alcotest.test_case "trace: both exports round-trip attrs and validate" `Quick
+      test_trace_export_attr_roundtrip;
+    Alcotest.test_case "trace: two-domain concurrent emission stays well-formed" `Quick
+      test_two_domain_hammer;
+    Alcotest.test_case "trace: validator rejects malformed traces" `Quick test_validator_rejects;
+    Alcotest.test_case "bench-diff: identical artifacts diff clean" `Quick
+      test_bench_diff_identical;
+    Alcotest.test_case "bench-diff: wall and size regressions flagged" `Quick
+      test_bench_diff_regressions;
+    Alcotest.test_case "bench-diff: dropped row is a regression, improvement is not" `Quick
+      test_bench_diff_missing_row_and_improvement;
+    Alcotest.test_case "bench-diff: schema mismatch refuses to compare" `Quick
+      test_bench_diff_schema_mismatch;
+    Alcotest.test_case "bench-diff: threshold is configurable" `Quick test_bench_diff_threshold;
+  ]

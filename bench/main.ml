@@ -371,6 +371,22 @@ let run_parallel ~quick ~jobs () =
   close_out oc;
   Format.printf "wrote BENCH_parallel.json@."
 
+(* --- scaling-curve benchmark → BENCH_scaling.json ---------------------- *)
+
+(* Fitted complexity, not point samples: graded seeded machine families,
+   min-of-K measurement with MAD outlier rejection, least-squares model
+   selection (see lib/scaling). The artifact is the one `nova bench-diff`
+   gates on by fitted model class and exponent. Not part of the no-args
+   run: the full grid walks machines up to 512 states. *)
+
+let run_scaling ~quick () =
+  Format.printf "@.== scaling-curve benchmark (%s) ==@." (if quick then "quick" else "full");
+  let cells = Scaling.Report.run ~quick ~progress:Format.std_formatter () in
+  let reps = if quick then 3 else 5 in
+  Scaling.Report.summary Format.std_formatter cells;
+  Scaling.Report.write ~path:"BENCH_scaling.json" ~quick ~reps cells;
+  Format.printf "wrote BENCH_scaling.json@."
+
 let run_bechamel () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -426,6 +442,7 @@ let () =
     | "pipeline" -> run_pipeline ~quick ()
     | "check" -> run_check ~quick ()
     | "parallel" -> run_parallel ~quick ~jobs ()
+    | "scaling" -> run_scaling ~quick ()
     | "bechamel" -> run_bechamel ()
     | other -> Format.eprintf "unknown table %S@." other
   in

@@ -629,6 +629,52 @@ let gen_cmd =
       $ int_opt "rows" "p" "Number of transition rows." 400
       $ int_opt "gen-seed" "g" "Generator seed." 4242)
 
+(* --- bench: the statistical scaling harness ------------------------------- *)
+
+let bench_scaling_cmd =
+  let run quick reps out =
+    match reps with
+    | Some r when r < 1 ->
+        fail_with (Nova_error.Invalid_request "bench scaling: --reps must be >= 1")
+    | _ ->
+        let cells = Scaling.Report.run ~quick ?reps ~progress:Format.err_formatter () in
+        let reps = match reps with Some r -> r | None -> if quick then 3 else 5 in
+        Scaling.Report.write ~path:out ~quick ~reps cells;
+        Scaling.Report.summary Format.std_formatter cells;
+        Printf.eprintf "wrote %s\n" out;
+        0
+  in
+  let quick_arg =
+    let doc =
+      "CI grid: sizes 8-64 and the cheap algorithms only, 3 repetitions (the full grid runs \
+       8-512 with 5 repetitions)."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let reps_arg =
+    let doc = "Timed repetitions per grid cell (after one warmup run)." in
+    Arg.(value & opt (some int) None & info [ "r"; "reps" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Output artifact path." in
+    Arg.(value & opt string "BENCH_scaling.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:
+         "Measure every scaling-grid cell (seeded machine family x encoding algorithm, \
+          states 8-512), fit runtime vs size against linear / n log n / quadratic / cubic / \
+          exponential models, and write the nova-bench-scaling/v1 artifact that \
+          $(b,nova bench-diff) gates on (fitted model class and exponent, not single wall \
+          numbers).")
+    Term.(const run $ quick_arg $ reps_arg $ out_arg)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Statistical benchmarks (see also bench/main.exe for the point-sample modes).")
+    [ bench_scaling_cmd ]
+
 (* --- bench-diff ------------------------------------------------------------ *)
 
 let bench_diff_cmd =
@@ -702,5 +748,5 @@ let () =
        (Cmd.group info
           [
             stats_cmd; constraints_cmd; encode_cmd; report_cmd; minstates_cmd; dot_cmd;
-            blif_cmd; gen_cmd; list_cmd; bench_diff_cmd;
+            blif_cmd; gen_cmd; list_cmd; bench_cmd; bench_diff_cmd;
           ]))

@@ -1,0 +1,26 @@
+type family = {
+  family_name : string;
+  num_inputs : int;
+  num_outputs : int;
+  rows_per_state : int;
+  seed : int;
+}
+
+let default =
+  { family_name = "dense4x4"; num_inputs = 4; num_outputs = 4; rows_per_state = 4; seed = 97 }
+
+(* The quick grid adds half-octave sizes so every cell still has enough
+   points to fit even though it stops at 64 states. *)
+let sizes ~quick =
+  if quick then [ 8; 16; 24; 32; 48; 64 ] else [ 8; 16; 32; 64; 128; 256; 512 ]
+
+let machine_name f size = Printf.sprintf "scale_%s_%d" f.family_name size
+
+let machine f size =
+  if size < 1 then invalid_arg "Grid.machine: size must be positive";
+  Benchmarks.Generator.generate ~name:(machine_name f size) ~num_inputs:f.num_inputs
+    ~num_outputs:f.num_outputs ~num_states:size ~num_rows:(f.rows_per_state * size)
+    ~seed:f.seed
+
+let kiss_text f size = Kiss.to_string (machine f size)
+let content_key f size = Digest.to_hex (Digest.string (kiss_text f size))

@@ -1,0 +1,42 @@
+(** Graded input families for the scaling bench.
+
+    A family fixes everything about the synthetic machines except their
+    size: the IO profile (inputs/outputs), the transition density (rows
+    per state) and the generator seed. Walking a family over the grid
+    sizes then varies exactly one thing — the number of states — so
+    runtime-vs-size fits measure the algorithm, not a drifting workload.
+
+    Machines come from {!Benchmarks.Generator} and are fully
+    deterministic: the same family always yields byte-identical KISS2
+    text at every size, and distinct sizes yield distinct content
+    addresses (so the exec cache can never cross-serve grid cells). *)
+
+type family = {
+  family_name : string;
+  num_inputs : int;
+  num_outputs : int;
+  rows_per_state : int;  (** transition rows = [rows_per_state * states] *)
+  seed : int;
+}
+
+val default : family
+(** The stock profile: 4 inputs, 4 outputs, 4 rows per state, seed 97 —
+    the density region where NOVA's input constraints are plentiful but
+    the machines stay minimizable at 512 states. *)
+
+val sizes : quick:bool -> int list
+(** The grid: states 8 → 512 doubling; [~quick:true] stops at 64 (the
+    CI grid). *)
+
+val machine_name : family -> int -> string
+
+val machine : family -> int -> Fsm.t
+(** [machine f size] generates the family member with [size] states.
+    @raise Invalid_argument when [size < 1]. *)
+
+val kiss_text : family -> int -> string
+(** Canonical KISS2 text of the member — the determinism witness. *)
+
+val content_key : family -> int -> string
+(** MD5 hex of {!kiss_text}: the same content address the exec cache
+    derives its keys from. *)

@@ -1,0 +1,45 @@
+type sample = {
+  size : int;
+  runs_s : float list;
+  kept_s : float list;
+  time_s : float;
+}
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Measure.median: empty"
+  | sorted ->
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+
+let mad xs =
+  let m = median xs in
+  median (List.map (fun x -> Float.abs (x -. m)) xs)
+
+let mad_cutoff = 3.5
+
+(* A zero MAD (at least half the runs bit-identical, as happens on very
+   fast kernels under a coarse clock) carries no spread information:
+   filtering against it would keep only the exact-median runs and could
+   discard the genuine minimum, so everything is kept instead. *)
+let mad_filter xs =
+  let m = median xs in
+  let d = mad xs in
+  if d < 1e-12 then xs
+  else List.filter (fun x -> Float.abs (x -. m) <= mad_cutoff *. d) xs
+
+let sample ?(warmup = 1) ?(reps = 5) ~size f =
+  if reps < 1 then invalid_arg "Measure.sample: reps must be >= 1";
+  if warmup < 0 then invalid_arg "Measure.sample: warmup must be >= 0";
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let runs_s =
+    List.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Unix.gettimeofday () -. t0)
+  in
+  let kept_s = mad_filter runs_s in
+  { size; runs_s; kept_s; time_s = List.fold_left Float.min infinity kept_s }

@@ -1,0 +1,38 @@
+(** Repeated timed measurement with outlier rejection.
+
+    One scaling-grid cell runs its kernel [warmup + reps] times; the
+    warmup runs are discarded (page faults, branch-predictor and cache
+    warm-in, lazy suite forcing), the timed runs pass through MAD-based
+    outlier rejection, and the cell's runtime estimate is the minimum of
+    the survivors — the criterion/AutoBench position that for a
+    deterministic kernel the minimum is the least-contaminated sample,
+    while the MAD filter keeps a single descheduled run from ever being
+    that minimum's only competitor. *)
+
+type sample = {
+  size : int;  (** grid coordinate (number of states) *)
+  runs_s : float list;  (** every timed repetition, in run order *)
+  kept_s : float list;  (** the runs surviving outlier rejection *)
+  time_s : float;  (** min of [kept_s]: the runtime estimate *)
+}
+
+val median : float list -> float
+(** Median (mean of the middle pair on even lengths).
+    @raise Invalid_argument on an empty list. *)
+
+val mad : float list -> float
+(** Median absolute deviation from the median. *)
+
+val mad_cutoff : float
+(** 3.5 — a run farther than [mad_cutoff * mad] from the median is an
+    outlier. *)
+
+val mad_filter : float list -> float list
+(** The runs within [mad_cutoff * mad] of the median, in input order.
+    When the MAD is (near) zero — at least half the runs identical —
+    nothing can be distinguished and every run is kept. *)
+
+val sample : ?warmup:int -> ?reps:int -> size:int -> (unit -> unit) -> sample
+(** [sample ~size f] times [f] ([warmup] discarded runs, default 1, then
+    [reps] timed runs, default 5) and builds the filtered sample.
+    @raise Invalid_argument when [reps < 1] or [warmup < 0]. *)

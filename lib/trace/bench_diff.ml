@@ -9,18 +9,27 @@
      microsecond jitter on tiny rows cannot fail CI;
    - size metrics (num_cubes, literal_cost, area, nbits): lower is
      better, compared relatively against the same threshold;
+   - complexity metrics (model_order, fitted_exponent — the scaling
+     bench's fitted classes): any class-rank increase regresses, and an
+     exponent drift past an absolute tolerance regresses, independent of
+     the relative threshold (a quadratic→cubic flip must fail CI even at
+     a generous wall threshold);
    - everything else (states, rows, cache hit counts...): reported when
      changed, never a regression.
 
    A row present in OLD but missing from NEW is a regression (a bench
-   silently dropped is exactly what the differ exists to catch). *)
+   silently dropped is exactly what the differ exists to catch), and so
+   is a gateable metric present in OLD but vanished from the same row in
+   NEW (a scaling cell degrading to an inconclusive fit, an OK row
+   turning into an error row: both used to slip through the flattening
+   silently). *)
 
 type artifact = {
   schema : string;
   rows : (string * (string * float) list) list;  (** row key -> flattened metrics *)
 }
 
-type direction = Wall | Size | Neutral
+type direction = Wall | Size | Complexity | Neutral
 
 type delta = {
   row : string;
@@ -33,21 +42,27 @@ type delta = {
 type result = {
   deltas : delta list;  (** changed metrics only, artifact order *)
   missing : string list;  (** row keys present in OLD, absent from NEW *)
+  vanished : (string * string) list;
+      (** (row, metric) pairs present in OLD but absent from that row in
+          NEW; the non-[Neutral] ones count as regressions *)
   added : string list;
   rows_compared : int;
   metrics_compared : int;
 }
 
 let size_metrics = [ "num_cubes"; "literal_cost"; "area"; "nbits" ]
+let complexity_metrics = [ "model_order"; "fitted_exponent" ]
+
+let metric_base metric =
+  match String.rindex_opt metric '.' with
+  | Some i -> String.sub metric (i + 1) (String.length metric - i - 1)
+  | None -> metric
 
 let classify metric =
-  let base =
-    match String.rindex_opt metric '.' with
-    | Some i -> String.sub metric (i + 1) (String.length metric - i - 1)
-    | None -> metric
-  in
+  let base = metric_base metric in
   if Filename.check_suffix base "_s" then Wall
   else if List.mem base size_metrics then Size
+  else if List.mem base complexity_metrics then Complexity
   else Neutral
 
 (* --- loading ------------------------------------------------------------ *)
@@ -115,9 +130,15 @@ exception Schema_mismatch of string * string
 let default_threshold = 0.25
 let wall_floor_s = 0.005
 
+(* Complexity metrics ignore the relative threshold: the fitted class
+   rank regresses on any increase, and the continuous exponent on an
+   absolute drift past this tolerance (2.0 → 2.3 is a real asymptotic
+   change regardless of how lenient the wall threshold is). *)
+let exponent_tolerance = 0.25
+
 let diff ?(threshold = default_threshold) old_a new_a =
   if old_a.schema <> new_a.schema then raise (Schema_mismatch (old_a.schema, new_a.schema));
-  let deltas = ref [] and missing = ref [] and added = ref [] in
+  let deltas = ref [] and missing = ref [] and vanished = ref [] and added = ref [] in
   let rows_compared = ref 0 and metrics_compared = ref 0 in
   List.iter
     (fun (key, old_metrics) ->
@@ -128,7 +149,7 @@ let diff ?(threshold = default_threshold) old_a new_a =
           List.iter
             (fun (metric, old_v) ->
               match List.assoc_opt metric new_metrics with
-              | None -> ()
+              | None -> vanished := (key, metric) :: !vanished
               | Some new_v ->
                   incr metrics_compared;
                   if new_v <> old_v then begin
@@ -138,6 +159,9 @@ let diff ?(threshold = default_threshold) old_a new_a =
                           new_v -. old_v > wall_floor_s
                           && new_v > old_v *. (1. +. threshold)
                       | Size -> new_v > old_v *. (1. +. threshold)
+                      | Complexity ->
+                          if metric_base metric = "model_order" then new_v > old_v
+                          else new_v -. old_v > exponent_tolerance
                       | Neutral -> false
                     in
                     deltas := { row = key; metric; old_v; new_v; regression } :: !deltas
@@ -150,13 +174,18 @@ let diff ?(threshold = default_threshold) old_a new_a =
   {
     deltas = List.rev !deltas;
     missing = List.rev !missing;
+    vanished = List.rev !vanished;
     added = List.rev !added;
     rows_compared = !rows_compared;
     metrics_compared = !metrics_compared;
   }
 
+let vanished_regression (_, metric) = classify metric <> Neutral
+
 let num_regressions r =
-  List.length (List.filter (fun d -> d.regression) r.deltas) + List.length r.missing
+  List.length (List.filter (fun d -> d.regression) r.deltas)
+  + List.length r.missing
+  + List.length (List.filter vanished_regression r.vanished)
 
 let pct old_v new_v =
   if old_v = 0. then if new_v = 0. then 0. else infinity
@@ -176,10 +205,16 @@ let report ?(threshold = default_threshold) ppf ~old_path ~new_path r =
         (if d.regression then "REGRESSION" else
          match classify d.metric with
          | Neutral -> "note      "
-         | Wall | Size -> if d.new_v < d.old_v then "improved  " else "changed   ")
+         | Wall | Size | Complexity -> if d.new_v < d.old_v then "improved  " else "changed   ")
         d.row d.metric (print_value d.old_v) (print_value d.new_v) (pct d.old_v d.new_v))
     r.deltas;
   List.iter (fun k -> Format.fprintf ppf "  REGRESSION %-48s row missing from NEW@." k) r.missing;
+  List.iter
+    (fun ((row, metric) as v) ->
+      Format.fprintf ppf "  %s %-48s %-24s metric vanished from NEW@."
+        (if vanished_regression v then "REGRESSION" else "note      ")
+        row metric)
+    r.vanished;
   List.iter (fun k -> Format.fprintf ppf "  note       %-48s new row (not in OLD)@." k) r.added;
   let n = num_regressions r in
   if n = 0 then Format.fprintf ppf "  no regressions@."

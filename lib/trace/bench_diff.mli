@@ -1,15 +1,19 @@
 (** Regression differ for the repo's BENCH_*.json artifacts. Rows match
     by identity fields (name/mode/algorithm), numeric metrics flatten
-    with dotted keys, and only wall ("*_s") and size (num_cubes,
-    literal_cost, area, nbits) metrics can regress — everything else is
-    reported as a note. A row missing from NEW counts as a regression. *)
+    with dotted keys, and only wall ("*_s"), size (num_cubes,
+    literal_cost, area, nbits) and complexity (model_order,
+    fitted_exponent — the scaling bench's fitted classes) metrics can
+    regress — everything else is reported as a note. A row missing from
+    NEW counts as a regression, and so does a gateable metric vanishing
+    from a row that is still present (e.g. a scaling cell whose fit
+    degraded to inconclusive). *)
 
 type artifact = {
   schema : string;
   rows : (string * (string * float) list) list;
 }
 
-type direction = Wall | Size | Neutral
+type direction = Wall | Size | Complexity | Neutral
 
 type delta = {
   row : string;
@@ -22,6 +26,9 @@ type delta = {
 type result = {
   deltas : delta list;
   missing : string list;
+  vanished : (string * string) list;
+      (** (row, metric) pairs present in OLD but absent from that row in
+          NEW; the non-{!Neutral} ones count in {!num_regressions} *)
   added : string list;
   rows_compared : int;
   metrics_compared : int;
@@ -30,7 +37,13 @@ type result = {
 exception Schema_mismatch of string * string
 
 val default_threshold : float
-(** 0.25 — a metric regresses when it worsens by more than 25%. *)
+(** 0.25 — a wall or size metric regresses when it worsens by more than
+    25%. *)
+
+val exponent_tolerance : float
+(** 0.25 — absolute drift of a [fitted_exponent] past this is a
+    regression, independent of the relative threshold; [model_order]
+    regresses on any increase. *)
 
 val classify : string -> direction
 

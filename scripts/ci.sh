@@ -111,6 +111,26 @@ rc=0; $NOVA bench-diff BENCH_parallel.json "$TMP/bench-regressed.json" \
 [ "$rc" -eq 1 ] || { echo "injected regression: expected exit 1, got $rc"; exit 1; }
 echo "  bench-diff: self-diff exit 0, injected slowdown exit 1: ok"
 
+echo "== scaling bench smoke: quick grid, fitted-complexity gate =="
+# The quick grid (states 8-64, cheap algorithms, 3 reps) must produce a
+# valid nova-bench-scaling/v1 artifact...
+$NOVA bench scaling --quick --out "$TMP/BENCH_scaling.json" > /dev/null 2>&1
+grep -q '"schema":"nova-bench-scaling/v1"' "$TMP/BENCH_scaling.json" \
+  || { echo "scaling artifact missing schema"; exit 1; }
+# ...that self-diffs clean...
+$NOVA bench-diff "$TMP/BENCH_scaling.json" "$TMP/BENCH_scaling.json" > /dev/null \
+  || { echo "scaling self-diff reported a regression"; exit 1; }
+# ...while an injected complexity bump on one cell (a quadratic -> cubic
+# style class flip plus exponent drift; the values are pinned above any
+# class the noisy quick fit can legitimately produce) must fail the gate.
+sed '0,/"model_order":[0-9]*/s//"model_order":9/' "$TMP/BENCH_scaling.json" \
+  | sed '0,/"fitted_exponent":[-0-9.eE+]*/s//"fitted_exponent":99.0/' \
+  > "$TMP/BENCH_scaling_regressed.json"
+rc=0; $NOVA bench-diff "$TMP/BENCH_scaling.json" "$TMP/BENCH_scaling_regressed.json" \
+  > /dev/null || rc=$?
+[ "$rc" -eq 1 ] || { echo "injected exponent bump: expected exit 1, got $rc"; exit 1; }
+echo "  scaling: quick artifact valid, self-diff exit 0, exponent bump exit 1: ok"
+
 # Bench smokes run inside $TMP: they write BENCH_*.json into the
 # current directory, and the repo root holds the committed full-mode
 # artifacts, which a quick run must not clobber.

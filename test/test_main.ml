@@ -34,4 +34,5 @@ let () =
       ("kiss-fuzz", Test_kiss_fuzz.suite);
       ("exec", Test_exec.suite);
       ("trace", Test_trace.suite);
+      ("scaling", Test_scaling.suite);
     ]

@@ -290,6 +290,62 @@ let test_bench_diff_schema_mismatch () =
   | _ -> Alcotest.fail "schema mismatch must raise"
   | exception Bench_diff.Schema_mismatch _ -> ()
 
+(* Satellite fix: a row present in both artifacts but with a metric
+   *set* that shrank in NEW used to fall through the flattening silently.
+   A vanished gateable metric (wall/size/complexity) is a regression; a
+   vanished neutral metric is only a note. *)
+let test_bench_diff_vanished_metric () =
+  with_temp_dir @@ fun dir ->
+  let old_a = Bench_diff.load (write_artifact dir "old.json" base_artifact) in
+  (* lion: num_cubes (size metric) vanished — the OK-row-turned-error-row
+     shape. dk16: states (neutral) vanished — a schema change, noted. *)
+  let new_text =
+    {|{"schema":"nova-bench-espresso/1","benchmarks":[
+      {"name":"lion","algorithm":"kiss","minimize_s":0.100,"area":120,"states":4},
+      {"name":"dk16","algorithm":"kiss","minimize_s":0.500,"num_cubes":50,"area":900}]}|}
+  in
+  let r = Bench_diff.diff old_a (Bench_diff.load (write_artifact dir "new.json" new_text)) in
+  check_int "vanished size metric is the only regression" 1 (Bench_diff.num_regressions r);
+  check "both vanishings recorded" true
+    (r.Bench_diff.vanished = [ ("lion/kiss", "num_cubes"); ("dk16/kiss", "states") ]);
+  check "no delta is flagged" true
+    (List.for_all (fun d -> not d.Bench_diff.regression) r.Bench_diff.deltas)
+
+(* Complexity metrics (the scaling bench's fitted classes) gate
+   absolutely: any model_order increase regresses, exponent drift past
+   the fixed tolerance regresses, improvements never do — all of it
+   independent of the relative threshold. *)
+let scaling_artifact ~order ~exponent =
+  Printf.sprintf
+    {|{"schema":"nova-bench-scaling/v1","benchmarks":[
+      {"name":"dense4x4","algorithm":"igreedy","fit":{"model_order":%d,"fitted_exponent":%g,"r2":0.99}}]}|}
+    order exponent
+
+let test_bench_diff_complexity_gate () =
+  with_temp_dir @@ fun dir ->
+  let load name text = Bench_diff.load (write_artifact dir name text) in
+  let old_a = load "old.json" (scaling_artifact ~order:3 ~exponent:2.0) in
+  let regressions ?threshold new_a =
+    Bench_diff.num_regressions (Bench_diff.diff ?threshold old_a new_a)
+  in
+  (* quadratic -> cubic: +1 class rank (+33%, but gated absolutely): the
+     exponent stayed within tolerance, only the class fires. *)
+  check_int "class rank bump regresses" 1
+    (regressions (load "cubic.json" (scaling_artifact ~order:4 ~exponent:2.2)));
+  (* ...even under a threshold generous enough to wave 100% through. *)
+  check_int "class rank gate ignores the relative threshold" 1
+    (regressions ~threshold:2.0 (load "cubic2.json" (scaling_artifact ~order:4 ~exponent:2.2)));
+  check_int "exponent drift within tolerance passes" 0
+    (regressions (load "drift-ok.json" (scaling_artifact ~order:3 ~exponent:2.2)));
+  check_int "exponent drift past tolerance regresses" 1
+    (regressions (load "drift-bad.json" (scaling_artifact ~order:3 ~exponent:2.4)));
+  check_int "improvement is never a regression" 0
+    (regressions (load "better.json" (scaling_artifact ~order:1 ~exponent:1.0)));
+  check "fit metrics classify as Complexity" true
+    (Bench_diff.classify "fit.model_order" = Bench_diff.Complexity
+    && Bench_diff.classify "fit.fitted_exponent" = Bench_diff.Complexity
+    && Bench_diff.classify "fit.r2" = Bench_diff.Neutral)
+
 let test_bench_diff_threshold () =
   with_temp_dir @@ fun dir ->
   let old_a = Bench_diff.load (write_artifact dir "old.json" base_artifact) in
@@ -333,5 +389,9 @@ let suite =
       test_bench_diff_missing_row_and_improvement;
     Alcotest.test_case "bench-diff: schema mismatch refuses to compare" `Quick
       test_bench_diff_schema_mismatch;
+    Alcotest.test_case "bench-diff: vanished gateable metric is a regression" `Quick
+      test_bench_diff_vanished_metric;
+    Alcotest.test_case "bench-diff: complexity metrics gate absolutely" `Quick
+      test_bench_diff_complexity_gate;
     Alcotest.test_case "bench-diff: threshold is configurable" `Quick test_bench_diff_threshold;
   ]

@@ -12,7 +12,7 @@
 
    Exit codes (see Nova_error.exit_code): 0 success, 2 parse error,
    3 budget exhausted, 4 infeasible, 5 invalid request,
-   6 certification failed. *)
+   6 certification failed, 7 job crashed (supervision exhausted). *)
 
 open Cmdliner
 
@@ -388,6 +388,20 @@ let machines_arg =
   in
   Arg.(value & pos_all string [] & info [] ~docv:"MACHINE" ~doc)
 
+let chaos_arg =
+  let doc =
+    "Seeded fault-injection schedule for the supervision tests: comma-separated \
+     $(b,SITE:COUNT) pairs, e.g. $(b,rung:2,cache-read:1). Sites: rung, cache-read, \
+     cache-write, recertify, pool. Each site raises COUNT injected faults at \
+     seed-deterministic invocations; absorbed faults leave stdout byte-identical to a \
+     fault-free run."
+  in
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
+
+let chaos_seed_arg =
+  let doc = "Seed selecting which invocations of each $(b,--chaos) site fault." in
+  Arg.(value & opt int 0 & info [ "chaos-seed" ] ~docv:"N" ~doc)
+
 let default_cache_dir () =
   match Sys.getenv_opt "NOVA_CACHE_DIR" with Some d -> d | None -> ".nova-cache"
 
@@ -425,9 +439,23 @@ let row_cells (r : Exec.Job.row) =
 (* stdout carries only deterministic data (the table); wall-clock and
    cache statistics go to stderr so output is byte-comparable across
    --jobs levels and cold/warm cache runs. *)
-let report jobs race cache_dir no_cache heavy instrument quiet trace machines =
+let report jobs race cache_dir no_cache heavy instrument quiet trace chaos chaos_seed
+    machines =
   if instrument then Instrument.enable ();
-  if quiet then Harness.Driver.quiet := true;
+  if quiet then begin
+    Harness.Driver.quiet := true;
+    Exec.Supervise.quiet := true
+  end;
+  match
+    match chaos with
+    | None -> Ok ()
+    | Some spec -> (
+        match Exec.Chaos.configure ~seed:chaos_seed spec with
+        | Ok () -> Ok ()
+        | Error msg -> Error (Nova_error.Invalid_request ("--chaos " ^ msg)))
+  with
+  | Error err -> fail_with err
+  | Ok () -> (
   match report_machines machines heavy with
   | Error err -> fail_with err
   | Ok ms ->
@@ -446,18 +474,23 @@ let report jobs race cache_dir no_cache heavy instrument quiet trace machines =
         else Some (Exec.Cache.open_dir (Option.value cache_dir ~default:(default_cache_dir ())))
       in
       let t0 = Unix.gettimeofday () in
-      let rows =
+      (* [rows] feeds the table; [all_rows] (racing losers included)
+         feeds the exit code, so a portfolio whose every member crashed
+         fails loudly even when the race printed nothing. *)
+      let rows, all_rows =
         if race then
-          List.concat_map
-            (fun m ->
-              let rows, winner = Exec.Portfolio.race ~jobs ?cache (Exec.Portfolio.tasks_for m) in
-              match winner with
-              | None -> []
-              | Some w -> [ List.nth rows w ])
-            ms
+          let per_machine =
+            List.map (fun m -> Exec.Portfolio.race ~jobs ?cache (Exec.Portfolio.tasks_for m)) ms
+          in
+          ( List.concat_map
+              (fun (rows, winner) ->
+                match winner with None -> [] | Some w -> [ List.nth rows w ])
+              per_machine,
+            List.concat_map fst per_machine )
         else
           let tasks = List.concat_map Exec.Portfolio.tasks_for ms in
-          Exec.Portfolio.run ~jobs ?cache tasks
+          let rows = Exec.Portfolio.run ~jobs ?cache tasks in
+          (rows, rows)
       in
       let wall = Unix.gettimeofday () -. t0 in
       let header =
@@ -509,7 +542,23 @@ let report jobs race cache_dir no_cache heavy instrument quiet trace machines =
             s.Exec.Cache.hits s.Exec.Cache.misses s.Exec.Cache.stores s.Exec.Cache.rejected
             (Exec.Cache.dir c));
       if instrument || Instrument.enabled () then Instrument.report Format.err_formatter ();
-      0
+      (* Racing cancellations are the protocol working, not failures;
+         any other error row (a crash that exhausted its retries, a
+         quarantined rung, a budget trip outside racing) makes the
+         process exit with that error's code, first row wins. *)
+      match
+        List.find_map
+          (fun (r : Exec.Job.row) ->
+            match (r.Exec.Job.result, r.Exec.Job.origin) with
+            | Error _, Exec.Job.Cancelled_by_race -> None
+            | Error e, _ -> Some e
+            | Ok _, _ -> None)
+          all_rows
+      with
+      | None -> 0
+      | Some e ->
+          Printf.eprintf "nova: %s\n" (Nova_error.to_string e);
+          Nova_error.exit_code e)
 
 let report_cmd =
   Cmd.v
@@ -517,10 +566,11 @@ let report_cmd =
        ~doc:
          "Run the encoding portfolio (iexact, iohybrid, ihybrid, igreedy + baselines) over \
           machines on a parallel domain pool, with an on-disk certified result cache. \
-          Results are bit-identical whatever $(b,--jobs) is.")
+          Results are bit-identical whatever $(b,--jobs) is. With $(b,--chaos), injects a \
+          seeded fault schedule to exercise the supervision layer.")
     Term.(
       const report $ jobs_arg $ race_arg $ cache_dir_arg $ no_cache_arg $ heavy_arg
-      $ instrument_arg $ quiet_arg $ trace_arg $ machines_arg)
+      $ instrument_arg $ quiet_arg $ trace_arg $ chaos_arg $ chaos_seed_arg $ machines_arg)
 
 (* --- minstates -------------------------------------------------------------- *)
 
@@ -722,6 +772,46 @@ let bench_diff_cmd =
           0 otherwise.")
     Term.(const run $ threshold_arg $ old_arg $ new_arg)
 
+(* --- cache ----------------------------------------------------------------- *)
+
+let cache_fsck_cmd =
+  let run dir =
+    let dir = Option.value dir ~default:(default_cache_dir ()) in
+    if not (Sys.file_exists dir) then begin
+      Printf.eprintf "nova: cache fsck: no cache directory at %s\n" dir;
+      0 (* an absent cache is a healthy (empty) cache *)
+    end
+    else
+      match Exec.Cache.open_dir dir with
+      | exception Sys_error msg -> fail_with (Nova_error.Invalid_request msg)
+      | c ->
+          let r = Exec.Cache.fsck c in
+          Printf.printf
+            "cache fsck %s: %d entries scanned, %d valid, %d broken removed, %d stale tmp \
+             removed\n"
+            dir r.Exec.Cache.scanned r.Exec.Cache.valid r.Exec.Cache.removed
+            r.Exec.Cache.tmp_removed;
+          0
+  in
+  let dir_arg =
+    let doc =
+      "Cache directory to check (default $(b,NOVA_CACHE_DIR) or $(b,.nova-cache))."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify the structural integrity (magic + checksum) of every cache entry, delete \
+          broken entries and stale temp files left by writers that died mid-store. Semantic \
+          certification still happens on every lookup; fsck only reclaims junk early.")
+    Term.(const run $ dir_arg)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Maintain the content-addressed result cache.")
+    [ cache_fsck_cmd ]
+
 (* --- list ----------------------------------------------------------------- *)
 
 let list_cmd =
@@ -748,5 +838,5 @@ let () =
        (Cmd.group info
           [
             stats_cmd; constraints_cmd; encode_cmd; report_cmd; minstates_cmd; dot_cmd;
-            blif_cmd; gen_cmd; list_cmd; bench_cmd; bench_diff_cmd;
+            blif_cmd; gen_cmd; list_cmd; bench_cmd; bench_diff_cmd; cache_cmd;
           ]))

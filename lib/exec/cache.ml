@@ -2,6 +2,7 @@ let c_hit = Instrument.counter "exec.cache.hits"
 let c_miss = Instrument.counter "exec.cache.misses"
 let c_store = Instrument.counter "exec.cache.stores"
 let c_rejected = Instrument.counter "exec.cache.rejected"
+let c_io_faults = Instrument.counter "exec.cache.io_faults"
 let t_certify = Instrument.timer "exec.cache.recertify"
 
 type t = {
@@ -29,7 +30,8 @@ let stats (c : t) : stats =
   { hits = Atomic.get c.hits; misses = Atomic.get c.misses; stores = Atomic.get c.stores;
     rejected = Atomic.get c.rejected }
 
-let entry_path c (task : Job.task) = Filename.concat c.dir (Job.key task ^ ".nova-cache")
+let entry_suffix = ".nova-cache"
+let entry_path c (task : Job.task) = Filename.concat c.dir (Job.key task ^ entry_suffix)
 
 (* Trace instants for the cache lifecycle (hit/miss/reject/store), each
    carrying the task identity so a lane full of cache events still reads
@@ -42,9 +44,12 @@ let ev name (task : Job.task) =
           ("algorithm", Trace.String (Harness.Driver.name task.Job.algorithm)) ]
 
 (* Re-certification of an entry read from (or headed to) disk, as a span
-   with the verdict on the End event. *)
+   with the verdict on the End event. The [Recertify] chaos site models
+   a crash inside the checker (or the entry being swapped out from
+   under it by a concurrent process mid-check). *)
 let recertify (task : Job.task) s =
   let run () =
+    Chaos.maybe_raise Chaos.Recertify;
     Instrument.time t_certify (fun () -> Check.certify task.Job.machine (Job.artifacts_of s))
   in
   if not (Trace.enabled ()) then run ()
@@ -57,18 +62,48 @@ let recertify (task : Job.task) s =
         let cert = run () in
         (cert, [ ("ok", Trace.Bool cert.Check.ok) ]))
 
+(* --- per-entry advisory file locks -------------------------------------- *)
+
+(* Concurrent *processes* sharing a cache directory coordinate through
+   a per-entry lock file ([<key>.nova-cache.lock]): writers and fsck
+   take it exclusively, readers take it shared, so a reader never
+   observes a write mid-flight and fsck never deletes an entry someone
+   is mid-read on. The lock is advisory and best-effort: on any lock
+   failure (exotic filesystems, permissions) the operation proceeds
+   unlocked — atomic tmp+rename plus the checksum still make torn data
+   detectable, the lock just removes the recompute cost of the race. *)
+
+let lock_path path = path ^ ".lock"
+
+let with_entry_lock ?(shared = false) path f =
+  let locked_fd =
+    try
+      let fd = Unix.openfile (lock_path path) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+      (try Unix.lockf fd (if shared then Unix.F_RLOCK else Unix.F_LOCK) 0
+       with Unix.Unix_error _ -> ());
+      Some fd
+    with Unix.Unix_error _ | Sys_error _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match locked_fd with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ())
+    f
+
 (* --- serialization ------------------------------------------------------ *)
 
 (* Line-oriented text; every cube and claimed face is a 0/1 bitvec
-   string. The format carries no checksum on purpose: integrity is
-   established semantically, by re-certification against the machine. *)
+   string. Integrity is layered: the checksum line (MD5 of everything
+   after it) catches torn or truncated bytes structurally — before any
+   parsing — and re-certification against the machine establishes
+   semantic integrity on every read. *)
 
-let magic = "nova-cache/v1"
+let magic = "nova-cache/v2"
 
-let render (task : Job.task) (s : Job.success) =
+let render_payload (task : Job.task) (s : Job.success) =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b l; Buffer.add_char b '\n') fmt in
-  line "%s" magic;
   line "algorithm %s" (Harness.Driver.name task.Job.algorithm);
   line "machine %s" task.Job.machine.Fsm.name;
   line "nbits %d" s.Job.encoding.Encoding.nbits;
@@ -86,10 +121,38 @@ let render (task : Job.task) (s : Job.success) =
   line "end";
   Buffer.contents b
 
+let render (task : Job.task) (s : Job.success) =
+  let payload = render_payload task s in
+  Printf.sprintf "%s\nchecksum %s\n%s" magic (Digest.to_hex (Digest.string payload)) payload
+
 exception Malformed
 
+(* Split off the "<magic>\nchecksum <hex>\n" header, verify the hex
+   against the raw remaining bytes, and return the payload. This is
+   the torn-write detector: any truncation or mid-file corruption
+   changes the digest. *)
+let verify_checksum text =
+  let nl1 = match String.index_opt text '\n' with Some i -> i | None -> raise Malformed in
+  if String.sub text 0 nl1 <> magic then raise Malformed;
+  let nl2 =
+    match String.index_from_opt text (nl1 + 1) '\n' with Some i -> i | None -> raise Malformed
+  in
+  let checksum_line = String.sub text (nl1 + 1) (nl2 - nl1 - 1) in
+  let prefix = "checksum " in
+  if
+    String.length checksum_line < String.length prefix
+    || String.sub checksum_line 0 (String.length prefix) <> prefix
+  then raise Malformed;
+  let claimed = String.sub checksum_line (String.length prefix)
+      (String.length checksum_line - String.length prefix)
+  in
+  let payload = String.sub text (nl2 + 1) (String.length text - nl2 - 1) in
+  if Digest.to_hex (Digest.string payload) <> claimed then raise Malformed;
+  payload
+
 let parse_entry (task : Job.task) text =
-  let lines = ref (String.split_on_char '\n' text) in
+  let payload = verify_checksum text in
+  let lines = ref (String.split_on_char '\n' payload) in
   let next () =
     match !lines with
     | [] -> raise Malformed
@@ -105,7 +168,6 @@ let parse_entry (task : Job.task) text =
     else if l = name then ""
     else raise Malformed
   in
-  if next () <> magic then raise Malformed;
   if field "algorithm" <> Harness.Driver.name task.Job.algorithm then raise Malformed;
   ignore (field "machine");
   let nbits = int_of_string (field "nbits") in
@@ -175,66 +237,177 @@ let reject (c : t) path =
   Instrument.bump c_rejected;
   (try Sys.remove path with Sys_error _ -> ())
 
+let miss (c : t) task =
+  Atomic.incr c.misses;
+  Instrument.bump c_miss;
+  ev "miss" task;
+  None
+
+(* Every failure mode on the read path — ENOENT racing a concurrent
+   reject, EIO, a torn write that survived the rename, an injected
+   fault, a recertification crash — converges on the same recovery:
+   drop the entry and recompute. A broken cache costs time, never
+   correctness and never the run. *)
 let find (c : t) (task : Job.task) =
   let path = entry_path c task in
-  if not (Sys.file_exists path) then begin
-    Atomic.incr c.misses;
-    Instrument.bump c_miss;
-    ev "miss" task;
-    None
-  end
+  if not (Sys.file_exists path) then miss c task
   else
-    let parsed = try Some (parse_entry task (read_file path)) with _ -> None in
-    match parsed with
-    | None ->
-        (* Corrupt on disk: drop the entry and recompute. *)
+    let read () =
+      with_entry_lock ~shared:true path (fun () ->
+          Chaos.maybe_raise Chaos.Cache_read;
+          read_file path)
+    in
+    match Supervise.protect ~what:("cache read " ^ Filename.basename path) read with
+    | Error _ ->
+        Instrument.bump c_io_faults;
         reject c path;
         ev "reject" task;
-        Atomic.incr c.misses;
-        Instrument.bump c_miss;
-        None
-    | Some s ->
-        (* Never trust storage: the independent checker re-establishes
-           the full contract against the machine before the entry is
-           served. *)
-        let cert = recertify task s in
-        if cert.Check.ok then begin
-          Atomic.incr c.hits;
-          Instrument.bump c_hit;
-          ev "hit" task;
-          Some s
-        end
-        else begin
-          reject c path;
-          ev "reject" task;
-          Atomic.incr c.misses;
-          Instrument.bump c_miss;
-          None
-        end
+        miss c task
+    | Ok text -> (
+        match parse_entry task text with
+        | exception _ ->
+            (* Corrupt on disk: drop the entry and recompute. *)
+            reject c path;
+            ev "reject" task;
+            miss c task
+        | s -> (
+            (* Never trust storage: the independent checker re-establishes
+               the full contract against the machine before the entry is
+               served. A checker that crashes mid-flight proves nothing,
+               so its entry is dropped too. *)
+            match Supervise.protect ~what:"recertify" (fun () -> recertify task s) with
+            | Error _ ->
+                Instrument.bump c_io_faults;
+                reject c path;
+                ev "reject" task;
+                miss c task
+            | Ok cert ->
+                if cert.Check.ok then begin
+                  Atomic.incr c.hits;
+                  Instrument.bump c_hit;
+                  ev "hit" task;
+                  Some s
+                end
+                else begin
+                  reject c path;
+                  ev "reject" task;
+                  miss c task
+                end))
 
-let store_certified (c : t) (task : Job.task) (s : Job.success) =
-  let path = entry_path c task in
+(* One write attempt: tmp file + atomic rename under the exclusive
+   entry lock. Any failure (ENOSPC, EIO, injected fault) cleans the
+   tmp file up and reports the error. *)
+let write_once path text =
   let tmp =
     Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
       (Domain.self () :> int)
   in
   match
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (render task s));
-    Sys.rename tmp path
+    with_entry_lock path (fun () ->
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            Chaos.maybe_raise Chaos.Cache_write;
+            output_string oc text);
+        Sys.rename tmp path)
   with
-  | () ->
-      Atomic.incr c.stores;
-      Instrument.bump c_store;
-      ev "store" task
-  | exception _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+  | () -> true
+  | exception e
+    when not (match e with Out_of_memory | Stack_overflow | Sys.Break -> true | _ -> false) ->
+      Instrument.bump c_io_faults;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      false
+
+let store_certified (c : t) (task : Job.task) (s : Job.success) =
+  let path = entry_path c task in
+  let text = render task s in
+  (* Write faults are transient (taxonomy: cache I/O retries): one
+     retry, then give up silently — the cache is an accelerator, never
+     a correctness dependency. *)
+  if write_once path text || write_once path text then begin
+    Atomic.incr c.stores;
+    Instrument.bump c_store;
+    ev "store" task
+  end
 
 (* The cache only ever holds certified results: a success the
    independent checker rejects (a producer bug, not a storage fault) is
    recomputed every run rather than laundered through the cache — so a
-   warm-run rejection always means the entry changed on disk. *)
+   warm-run rejection always means the entry changed on disk. A
+   recertification crash proves nothing, so it skips the store too. *)
 let store (c : t) (task : Job.task) (s : Job.success) =
-  let cert = recertify task s in
-  if cert.Check.ok then store_certified c task s else ev "reject" task
+  match Supervise.protect ~what:"recertify" (fun () -> recertify task s) with
+  | Ok cert when cert.Check.ok -> store_certified c task s
+  | Ok _ -> ev "reject" task
+  | Error _ ->
+      Instrument.bump c_io_faults;
+      ev "reject" task
+
+(* --- fsck ---------------------------------------------------------------- *)
+
+(* Structural integrity sweep over a cache directory, without task
+   context (fsck cannot re-certify — it has no machines — but the
+   checksum pins every byte of the payload, and certification still
+   happens on every read). Removes: entries whose magic or checksum do
+   not verify (torn writes, truncation, tampering), leftover [.tmp.*]
+   files from writers that died mid-store, and orphaned lock files
+   whose entry is gone. *)
+
+type fsck_report = { scanned : int; valid : int; removed : int; tmp_removed : int }
+
+let entry_structurally_valid text =
+  match verify_checksum text with
+  | payload ->
+      (* The payload must terminate properly: render always ends with
+         "end\n". *)
+      String.length payload >= 4 && String.sub payload (String.length payload - 4) 4 = "end\n"
+  | exception _ -> false
+
+let has_suffix suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
+
+let contains_substring sub s =
+  let n = String.length sub in
+  let rec at i = i + n <= String.length s && (String.sub s i n = sub || at (i + 1)) in
+  at 0
+
+let fsck (c : t) =
+  let files = try Sys.readdir c.dir with Sys_error _ -> [||] in
+  Array.sort compare files;
+  let scanned = ref 0 and valid = ref 0 and removed = ref 0 and tmp_removed = ref 0 in
+  let remove path = try Sys.remove path; true with Sys_error _ -> false in
+  Array.iter
+    (fun name ->
+      let path = Filename.concat c.dir name in
+      if has_suffix entry_suffix name then begin
+        incr scanned;
+        let ok =
+          match
+            with_entry_lock path (fun () -> read_file path)
+          with
+          | text -> entry_structurally_valid text
+          | exception _ -> false
+        in
+        if ok then incr valid
+        else begin
+          if Trace.enabled () then
+            Trace.instant "cache.fsck_remove" ~attrs:[ ("entry", Trace.String name) ];
+          if remove path then incr removed
+        end
+      end
+      else if contains_substring (entry_suffix ^ ".tmp.") name then begin
+        (* writer temp files: <key>.nova-cache.tmp.<pid>.<domain> *)
+        if remove path then incr tmp_removed
+      end
+      else if has_suffix (entry_suffix ^ ".lock") name then begin
+        (* Orphaned lock: its entry is gone and nobody holds it. *)
+        let entry = Filename.concat c.dir (Filename.chop_suffix name ".lock") in
+        if not (Sys.file_exists entry) then ignore (remove path)
+      end)
+    files;
+  (* Count every structural removal as a rejection: fsck is the offline
+     flavor of the read path's reject-and-recompute. *)
+  for _ = 1 to !removed do Atomic.incr c.rejected; Instrument.bump c_rejected done;
+  { scanned = !scanned; valid = !valid; removed = !removed; tmp_removed = !tmp_removed }

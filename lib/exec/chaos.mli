@@ -1,0 +1,62 @@
+(** Seeded deterministic fault injection for the execution layer.
+
+    Default-off; while disabled every probe is one atomic load. A chaos
+    {e schedule} is parsed from a spec string ([SITE:COUNT] items,
+    comma-separated, e.g. ["rung:1,cache-read:2"]) plus a seed: for each
+    site, [COUNT] faults fire among the site's first [2 * COUNT]
+    invocations, the subset chosen by the seeded RNG. Schedules are
+
+    - {b deterministic}: the same (spec, seed) always faults the same
+      invocation indices;
+    - {b seed-sensitive}: moving the seed moves which early invocations
+      fault;
+    - {b exhaustible}: past the window a site never fires again, so a
+      retrying supervisor provably absorbs any schedule whose
+      crash-site counts stay below its attempt budget.
+
+    Injection sites and the faults they raise ({!Injected}):
+
+    - [Rung] — the job/rung boundary in the portfolio executor (an
+      encoding algorithm crashing);
+    - [Cache_read] / [Cache_write] / [Recertify] — I/O and
+      recertification faults inside {!Cache.find} / {!Cache.store};
+    - [Pool_worker] — a domain dying inside the {!Pool} worker loop.
+
+    Invocation counters are atomics (cross-domain sound); which
+    invocation a particular task observes is scheduling-dependent, and
+    the supervised executor's recovery must make final results
+    independent of that — the invariant test/test_chaos.ml proves. *)
+
+type site = Rung | Cache_read | Cache_write | Recertify | Pool_worker
+
+(** The injected fault: [index] is the site's invocation that drew it. *)
+exception Injected of { site : site; index : int }
+
+val site_name : site -> string
+val site_of_name : string -> site option
+val all_sites : site list
+
+(** [parse_spec s] parses a schedule spec without installing it. *)
+val parse_spec : string -> ((site * int) list, string) result
+
+(** [configure ?seed spec] parses [spec] and installs the schedule with
+    fresh invocation counters. [seed] defaults to 0. *)
+val configure : ?seed:int -> string -> (unit, string) result
+
+(** [rewind ()] resets every invocation counter of the installed
+    schedule (the plan itself is kept), so a re-run observes the
+    identical fault schedule — how the jobs=1 vs jobs=N matrix replays
+    one schedule twice. *)
+val rewind : unit -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [should_fire site] draws the site's next invocation index and
+    reports whether the schedule faults it (bumping the
+    [exec.chaos.injected] counter and emitting a [chaos.inject] trace
+    instant when it does). *)
+val should_fire : site -> bool
+
+(** [maybe_raise site] is {!should_fire} except it raises {!Injected}. *)
+val maybe_raise : site -> unit

@@ -31,7 +31,7 @@ type row = {
 (* Bump on any behavioral change to the encoders, the minimizer or the
    cache entry layout: every existing entry then misses (stale results
    can never resurface under a new code version). *)
-let code_version = "nova-exec/1"
+let code_version = "nova-exec/2"
 
 let fingerprint t =
   Printf.sprintf "bits=%s;max_work=%s;fallback=%b"

@@ -19,3 +19,16 @@ val map : jobs:int -> 'a array -> f:('a -> 'b) -> 'b array
 
 (** [mapi ~jobs tasks ~f] is {!map} with the task index. *)
 val mapi : jobs:int -> 'a array -> f:(int -> 'a -> 'b) -> 'b array
+
+(** [mapi_isolated ~jobs tasks ~f] is {!mapi} with per-slot crash
+    isolation: a task whose [f] raises settles its own slot as
+    [Error (exn, backtrace)] — sibling tasks and the pool itself are
+    unaffected, and every slot is always settled. Genuinely fatal
+    exceptions ([Out_of_memory], [Stack_overflow], [Sys.Break]) are
+    {e not} isolated: they re-raise after the join with the historical
+    lowest-index-deterministic semantics. The [Chaos.Pool_worker]
+    injection site fires inside the per-slot protection, so an injected
+    domain death lands in the slot of the task the domain was
+    running. *)
+val mapi_isolated :
+  jobs:int -> 'a array -> f:(int -> 'a -> 'b) -> ('b, exn * string) result array

@@ -35,6 +35,22 @@ let origin_name = function
   | Job.Cached -> "cached"
   | Job.Cancelled_by_race -> "cancelled"
 
+(* Sequential fallback: a domain pool on a machine without spare cores
+   is pure overhead (domain spawn/join, cache-line contention) — the
+   measured BENCH_parallel slowdown. When the runtime recommends no
+   more parallelism than one domain, run in-process regardless of the
+   requested [jobs]; rows are bit-identical either way, so this is a
+   pure wall-clock fix. *)
+let effective_jobs ~available ~requested =
+  if requested <= 1 then 1 else if available <= 1 then 1 else requested
+
+let plan_jobs requested =
+  let effective = effective_jobs ~available:(Pool.available_jobs ()) ~requested in
+  if effective <> requested && Trace.enabled () then
+    Trace.instant "pool.sequential_fallback"
+      ~attrs:[ ("requested", Trace.Int requested); ("effective", Trace.Int effective) ];
+  effective
+
 (* The per-job root span on whatever track (domain) picked the task up:
    it carries machine/algorithm, so everything beneath it in a worker
    lane — driver, espresso, cache, checks — self-describes by
@@ -57,8 +73,21 @@ let traced_job (task : Job.task) f =
         in
         (row, end_attrs))
 
+(* The supervised compute step: quarantine check, then Job.run under
+   retry/backoff. The Rung chaos site fires at the job boundary (an
+   encoding algorithm crashing); because it fires before Job.run builds
+   its budget, a retried attempt starts from clean budget state and a
+   fully absorbed schedule reproduces the fault-free result bit for
+   bit. *)
+let supervised_run policy ?budget (task : Job.task) =
+  Supervise.run policy ~machine:task.Job.machine.Fsm.name
+    ~algorithm:(Harness.Driver.name task.Job.algorithm)
+    (fun () ->
+      Chaos.maybe_raise Chaos.Rung;
+      Instrument.time (job_timer task) (fun () -> Job.run ?budget task))
+
 (* One plain (non-racing) job: cache lookup, else compute and store. *)
-let run_one ?cache (task : Job.task) =
+let run_one ~policy ?cache (task : Job.task) =
   traced_job task @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let finish result origin =
@@ -67,15 +96,35 @@ let run_one ?cache (task : Job.task) =
   match Option.bind cache (fun c -> Cache.find c task) with
   | Some s -> finish (Ok s) Job.Cached
   | None ->
-      let result = Instrument.time (job_timer task) (fun () -> Job.run task) in
+      let result = supervised_run policy task in
       (match (cache, result) with
       | Some c, Ok s -> Cache.store c task s
       | _ -> ());
       finish result Job.Computed
 
-let run ?(jobs = 1) ?cache tasks =
-  let rows = Pool.map ~jobs (Array.of_list tasks) ~f:(fun t -> run_one ?cache t) in
-  Array.to_list rows
+(* A slot the pool itself had to isolate (an injected domain death, or
+   a crash outside the supervisor): restart the job once in-process —
+   the domain is gone but the work is not, and the inline rerun is
+   fully supervised, so a second crash lands in the typed path. *)
+let restart_isolated ~policy ?cache tasks slots =
+  Array.mapi
+    (fun i slot ->
+      match slot with
+      | Ok row -> row
+      | Error (e, _) ->
+          if Trace.enabled () then
+            Trace.instant "supervise.restart"
+              ~attrs:
+                [ ("slot", Trace.Int i);
+                  ("error", Trace.String (Printexc.to_string e)) ];
+          run_one ~policy ?cache tasks.(i))
+    slots
+
+let run ?(jobs = 1) ?cache ?(policy = Supervise.default_policy) tasks =
+  let jobs = plan_jobs jobs in
+  let tasks = Array.of_list tasks in
+  let slots = Pool.mapi_isolated ~jobs tasks ~f:(fun _ t -> run_one ~policy ?cache t) in
+  Array.to_list (restart_isolated ~policy ?cache tasks slots)
 
 (* --- racing ------------------------------------------------------------- *)
 
@@ -83,7 +132,8 @@ let acceptable = function
   | Ok (s : Job.success) -> s.Job.degraded = []
   | Error _ -> false
 
-let race ?(jobs = 1) ?cache tasks =
+let race ?(jobs = 1) ?cache ?(policy = Supervise.default_policy) tasks =
+  let jobs = plan_jobs jobs in
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
   (* Lowest index that completed acceptably so far. Monotonically
@@ -145,9 +195,7 @@ let race ?(jobs = 1) ?cache tasks =
           end;
           { Job.task; result = Ok s; origin = Job.Cached; wall_s = Unix.gettimeofday () -. t0 }
       | None ->
-          let result =
-            Instrument.time (job_timer task) (fun () -> Job.run ~budget:budgets.(i) task)
-          in
+          let result = supervised_run policy ~budget:budgets.(i) task in
           let raced_out = Budget.reason budgets.(i) = Some Budget.Cancelled in
           if (not raced_out) && acceptable result then begin
             won i task;
@@ -165,7 +213,24 @@ let race ?(jobs = 1) ?cache tasks =
             wall_s = Unix.gettimeofday () -. t0;
           }
   in
-  let rows = Pool.mapi ~jobs tasks ~f:run_racer in
+  let slots = Pool.mapi_isolated ~jobs tasks ~f:run_racer in
+  (* A pool-isolated racer crash restarts inline like [run]'s; its
+     budget may have been cancelled meanwhile, which the rerun observes
+     exactly as the sequential protocol would. *)
+  let rows =
+    Array.mapi
+      (fun i slot ->
+        match slot with
+        | Ok row -> row
+        | Error (e, _) ->
+            if Trace.enabled () then
+              Trace.instant "supervise.restart"
+                ~attrs:
+                  [ ("slot", Trace.Int i);
+                    ("error", Trace.String (Printexc.to_string e)) ];
+            run_racer i tasks.(i))
+      slots
+  in
   let best_by_area () =
     let best = ref None in
     Array.iteri

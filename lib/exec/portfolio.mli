@@ -11,18 +11,45 @@
     in task order, tasks share no mutable state, and cache hits are
     certified results of the very computation they replace. {!race} is
     deterministic too (see below), so racing output is also independent
-    of [jobs]. *)
+    of [jobs].
 
-(** [run ?jobs ?cache tasks] executes every task and returns one row per
-    task, in task order. [jobs] defaults to 1. With [cache], each task
-    first consults the content-addressed store (entries re-certify
-    before being trusted) and stores its freshly computed result. *)
-val run : ?jobs:int -> ?cache:Cache.t -> Job.task list -> Job.row list
+    {b Supervision}: every compute step runs under {!Supervise.run} —
+    a crash inside an encoder retries with seeded backoff per the
+    [policy] (default {!Supervise.default_policy}), exhausted retries
+    settle the row as [Error (Job_crashed _)], and an algorithm that
+    exhausts its retries twice on the same machine is quarantined
+    (skipped with a typed row, [attempts = 0]) for the rest of the
+    process. A crash that escapes the supervisor and kills a pool
+    worker (e.g. an injected [Chaos.Pool_worker] fault) is isolated to
+    its slot by {!Pool.mapi_isolated} and the job restarts once,
+    supervised, on the calling domain. No failure mode raises out of
+    [run] or [race] short of [Out_of_memory]/[Stack_overflow]/
+    [Sys.Break].
 
-(** [race ?jobs ?cache tasks] races the tasks (one machine's portfolio
-    rungs) against each other and returns the rows (task order: losers
-    keep their cancelled/partial status) plus the index of the winner,
-    or [None] if no task produced a usable result.
+    {b Sequential fallback}: when {!Pool.available_jobs} recommends no
+    parallelism (a single-core container), [jobs] is forced to 1 —
+    spawning domains there is measurable pure overhead. Rows are
+    bit-identical either way. *)
+
+(** [effective_jobs ~available ~requested] is the domain count actually
+    used: [requested], or [1] when [available <= 1] (pure-overhead
+    pool). Exposed for tests and the bench harness. *)
+val effective_jobs : available:int -> requested:int -> int
+
+(** [run ?jobs ?cache ?policy tasks] executes every task and returns one
+    row per task, in task order. [jobs] defaults to 1. With [cache],
+    each task first consults the content-addressed store (entries
+    re-certify before being trusted) and stores its freshly computed
+    result. [policy] governs crash retry/backoff (default
+    {!Supervise.default_policy}; pass {!Supervise.off} to fail fast). *)
+val run :
+  ?jobs:int -> ?cache:Cache.t -> ?policy:Supervise.policy ->
+  Job.task list -> Job.row list
+
+(** [race ?jobs ?cache ?policy tasks] races the tasks (one machine's
+    portfolio rungs) against each other and returns the rows (task
+    order: losers keep their cancelled/partial status) plus the index
+    of the winner, or [None] if no task produced a usable result.
 
     The winner is deterministic regardless of completion order:
 
@@ -45,8 +72,15 @@ val run : ?jobs:int -> ?cache:Cache.t -> Job.task list -> Job.row list
 
     Cancelled losers are never written to the cache (their budgets
     tripped); the winner always ran uncancelled, so its cached entry
-    equals the sequential result. *)
-val race : ?jobs:int -> ?cache:Cache.t -> Job.task list -> Job.row list * int option
+    equals the sequential result.
+
+    A racer that crashes (supervision exhausted, or quarantined)
+    settles as [Error (Job_crashed _)] — never acceptable, so the race
+    falls through to the next-preferred rung exactly as a degraded
+    result would. *)
+val race :
+  ?jobs:int -> ?cache:Cache.t -> ?policy:Supervise.policy ->
+  Job.task list -> Job.row list * int option
 
 (** [default_algorithms] is the racing/reporting portfolio, preference
     first: iexact (capped), iohybrid, ihybrid, igreedy, then the kiss /

@@ -1,0 +1,183 @@
+(* The supervision layer: converts runtime failures in the execution
+   layer into typed, traced, recoverable events.
+
+   Three mechanisms, composed by Portfolio and Cache:
+
+   - [retry]: runs a job thunk under a policy of seeded jittered
+     exponential backoff. Only *crashes* (exceptions) are retried —
+     typed [Nova_error.t] results are deterministic verdicts and pass
+     straight through (Nova_error.is_transient). Asynchronous/fatal
+     exceptions (Out_of_memory, Stack_overflow, user interrupt) are
+     never swallowed: the supervisor re-raises them immediately.
+
+   - quarantine: a per-process registry of (machine, algorithm) pairs
+     whose jobs crashed through their whole attempt budget. After
+     [quarantine_threshold] such exhausted cycles the pair is skipped
+     outright (a `driver.quarantine` trace instant, a typed
+     [Job_crashed] with attempts = 0) so the portfolio's fallback
+     ladder continues without burning attempts on a known-bad rung.
+
+   - warnings: one stderr line per retry / give-up / quarantine skip,
+     with attempt counts and the reason, suppressed by [quiet] (the
+     CLI's --quiet). *)
+
+let c_retries = Instrument.counter "exec.supervise.retries"
+let c_crashes = Instrument.counter "exec.supervise.crashes"
+let c_quarantined = Instrument.counter "exec.supervise.quarantine_skips"
+
+type policy = {
+  max_attempts : int;
+  base_backoff_ms : float;
+  multiplier : float;
+  jitter : float;
+  seed : int;
+}
+
+let default_policy =
+  { max_attempts = 3; base_backoff_ms = 1.0; multiplier = 2.0; jitter = 0.5; seed = 0 }
+
+(* One attempt, no backoff: the unsupervised reference path the bench
+   overhead measurement compares against. *)
+let off = { default_policy with max_attempts = 1; base_backoff_ms = 0.0 }
+
+let quiet = ref false
+
+let warn fmt =
+  Printf.ksprintf (fun line -> if not !quiet then prerr_endline ("nova: warning: " ^ line)) fmt
+
+(* Backoff for the [attempt]-th failure (1-based): exponential in the
+   attempt with a deterministic jitter drawn from (policy seed, job
+   key, attempt) — seeded, so a replayed run backs off identically. *)
+let backoff_ms policy ~key ~attempt =
+  if policy.base_backoff_ms <= 0.0 then 0.0
+  else
+    let base = policy.base_backoff_ms *. (policy.multiplier ** float_of_int (attempt - 1)) in
+    let rng = Random.State.make [| 0xbac0ff; policy.seed; Hashtbl.hash key; attempt |] in
+    let spread = policy.jitter *. base in
+    base -. spread +. (2.0 *. spread *. Random.State.float rng 1.0)
+
+let sleep_ms ms = if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+
+(* Fatal exceptions must cross the supervisor untouched: retrying an
+   OOM burns the machine, swallowing a ^C loses the user's intent. *)
+let is_fatal = function
+  | Out_of_memory | Stack_overflow | Sys.Break -> true
+  | _ -> false
+
+let describe_exn e bt =
+  let head =
+    match String.index_opt bt '\n' with Some i -> String.sub bt 0 i | None -> bt
+  in
+  if head = "" then Printexc.to_string e else Printexc.to_string e ^ " [" ^ head ^ "]"
+
+(* --- quarantine registry ------------------------------------------------- *)
+
+let quarantine_threshold = 2
+
+(* (machine, algorithm) -> exhausted crash cycles, last detail. The
+   registry is per-process state shared by every portfolio run (that is
+   the point: the second run of a known-crashing rung is the one that
+   gets skipped), guarded by a mutex for cross-domain use. *)
+let quarantine_lock = Mutex.create ()
+let quarantine_table : (string * string, int * string) Hashtbl.t = Hashtbl.create 16
+
+let reset_quarantine () =
+  Mutex.protect quarantine_lock (fun () -> Hashtbl.reset quarantine_table)
+
+let record_crash_cycle ~machine ~algorithm detail =
+  Mutex.protect quarantine_lock (fun () ->
+      let key = (machine, algorithm) in
+      let n = match Hashtbl.find_opt quarantine_table key with Some (n, _) -> n | None -> 0 in
+      Hashtbl.replace quarantine_table key (n + 1, detail);
+      n + 1)
+
+let quarantined ~machine ~algorithm =
+  Mutex.protect quarantine_lock (fun () ->
+      match Hashtbl.find_opt quarantine_table (machine, algorithm) with
+      | Some (n, detail) when n >= quarantine_threshold -> Some (n, detail)
+      | _ -> None)
+
+(* --- the supervised runner ----------------------------------------------- *)
+
+let job_name ~machine ~algorithm = Printf.sprintf "%s on %s" algorithm machine
+
+let retry_instant ~machine ~algorithm ~attempt ~backoff detail =
+  if Trace.enabled () then
+    Trace.instant "supervise.retry"
+      ~attrs:
+        [
+          ("machine", Trace.String machine);
+          ("algorithm", Trace.String algorithm);
+          ("attempt", Trace.Int attempt);
+          ("backoff_ms", Trace.Float backoff);
+          ("error", Trace.String detail);
+        ]
+
+let quarantine_instant ~machine ~algorithm ~crashes detail =
+  if Trace.enabled () then
+    Trace.instant "driver.quarantine"
+      ~attrs:
+        [
+          ("machine", Trace.String machine);
+          ("algorithm", Trace.String algorithm);
+          ("crashes", Trace.Int crashes);
+          ("error", Trace.String detail);
+        ]
+
+(* [run policy ~machine ~algorithm f] is [f ()] under supervision:
+   typed results pass through; a crash is retried with backoff up to
+   [policy.max_attempts] total attempts, then recorded as an exhausted
+   cycle and returned as [Job_crashed]. A pair past the quarantine
+   threshold is skipped without running [f] at all. *)
+let run policy ~machine ~algorithm f =
+  match quarantined ~machine ~algorithm with
+  | Some (crashes, detail) ->
+      Instrument.bump c_quarantined;
+      quarantine_instant ~machine ~algorithm ~crashes detail;
+      warn "%s quarantined after %d crashed runs (%s); skipping"
+        (job_name ~machine ~algorithm) crashes detail;
+      Error
+        (Nova_error.Job_crashed
+           {
+             job = job_name ~machine ~algorithm;
+             attempts = 0;
+             detail = Printf.sprintf "quarantined after %d crashed runs: %s" crashes detail;
+           })
+  | None ->
+      let rec attempt_from n =
+        match f () with
+        | result -> result
+        | exception e when not (is_fatal e) ->
+            let detail = describe_exn e (Printexc.get_backtrace ()) in
+            Instrument.bump c_crashes;
+            if n < policy.max_attempts then begin
+              let backoff = backoff_ms policy ~key:(machine ^ "/" ^ algorithm) ~attempt:n in
+              Instrument.bump c_retries;
+              retry_instant ~machine ~algorithm ~attempt:n ~backoff detail;
+              warn "%s crashed (attempt %d/%d): %s; retrying in %.1fms"
+                (job_name ~machine ~algorithm) n policy.max_attempts detail backoff;
+              sleep_ms backoff;
+              attempt_from (n + 1)
+            end
+            else begin
+              let cycles = record_crash_cycle ~machine ~algorithm detail in
+              warn "%s crashed %d/%d attempts, giving up (crashed runs: %d): %s"
+                (job_name ~machine ~algorithm) n policy.max_attempts cycles detail;
+              Error
+                (Nova_error.Job_crashed
+                   { job = job_name ~machine ~algorithm; attempts = n; detail })
+            end
+      in
+      attempt_from 1
+
+(* [protect ~what f] is the one-shot flavor for infrastructure code
+   (cache I/O): run [f], turn any non-fatal crash into [Error detail].
+   No retries — callers like the cache have a cheaper recovery
+   (recompute) than re-driving the fault. *)
+let protect ~what f =
+  match f () with
+  | v -> Ok v
+  | exception e when not (is_fatal e) ->
+      let detail = describe_exn e (Printexc.get_backtrace ()) in
+      Instrument.bump c_crashes;
+      Error (Printf.sprintf "%s: %s" what detail)

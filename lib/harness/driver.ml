@@ -132,9 +132,13 @@ let degradation_warning o =
       let why =
         match List.rev ds with (_, first_error) :: _ -> Nova_error.to_string first_error | [] -> ""
       in
+      let attempts = List.length ds + 1 in
       Some
-        (Printf.sprintf "nova: warning: %s degraded to %s (%s)" (name o.algorithm)
-           (rung_name o.produced_by) why)
+        (Printf.sprintf
+           "nova: warning: %s degraded to %s after %d rung attempt%s (%s)"
+           (name o.algorithm) (rung_name o.produced_by) attempts
+           (if attempts = 1 then "" else "s")
+           why)
 
 let why budget = Option.value (Budget.reason budget) ~default:Budget.Work
 

@@ -19,6 +19,7 @@ type t =
   | Infeasible of { stage : stage; msg : string }
   | Invalid_request of string
   | Certification_failed of { machine : string; failed : string list }
+  | Job_crashed of { job : string; attempts : int; detail : string }
 
 let stage_name = function
   | Parse -> "parse"
@@ -48,6 +49,10 @@ let to_string = function
   | Invalid_request msg -> Printf.sprintf "invalid request: %s" msg
   | Certification_failed { machine; failed } ->
       Printf.sprintf "certification failed on %s: %s" machine (String.concat ", " failed)
+  | Job_crashed { job; attempts; detail } ->
+      Printf.sprintf "%s: crashed after %d attempt%s: %s" job attempts
+        (if attempts = 1 then "" else "s")
+        detail
 
 (* One exit code per constructor, so scripts can tell failure modes
    apart. 1 is cmdliner's own; 124/125 are reserved by it too. *)
@@ -57,3 +62,16 @@ let exit_code = function
   | Infeasible _ -> 4
   | Invalid_request _ -> 5
   | Certification_failed _ -> 6
+  | Job_crashed _ -> 7
+
+(* The supervisor's retry taxonomy. Crashes are transient: they come
+   from runtime faults (a dying domain, injected chaos, an I/O error
+   surfacing as an exception) that a retry can genuinely outrun. Every
+   other constructor is a deterministic verdict about the input or the
+   budget — retrying replays the same computation to the same end, so
+   the supervisor must not burn attempts on them. *)
+let is_transient = function
+  | Job_crashed _ -> true
+  | Budget_exhausted _ | Parse_error _ | Infeasible _ | Invalid_request _
+  | Certification_failed _ ->
+      false

@@ -35,6 +35,12 @@ type t =
   | Certification_failed of { machine : string; failed : string list }
       (** the independent certificate layer ([Check]) rejected a pipeline
           result: [failed] names the checks that did not pass *)
+  | Job_crashed of { job : string; attempts : int; detail : string }
+      (** a supervised job raised instead of returning: [job] identifies
+          the work (machine/algorithm), [attempts] how many times the
+          supervisor ran it before giving up (or [0] when it was
+          quarantined without running), [detail] the exception and a
+          backtrace head *)
 
 val stage_name : stage -> string
 val reason_name : Budget.reason -> string
@@ -43,6 +49,13 @@ val reason_name : Budget.reason -> string
 val to_string : t -> string
 
 (** [exit_code e] is the CLI exit code for [e]: 2 parse, 3 budget,
-    4 infeasible, 5 invalid request, 6 certification failure (distinct
-    per constructor). *)
+    4 infeasible, 5 invalid request, 6 certification failure, 7 job
+    crash (distinct per constructor). *)
 val exit_code : t -> int
+
+(** [is_transient e] is the supervisor's retry taxonomy: [true] only for
+    {!Job_crashed} (runtime faults a retry can outrun). Deterministic
+    verdicts — [Parse_error], [Certification_failed], [Infeasible],
+    [Invalid_request], [Budget_exhausted] — are permanent: retrying
+    replays the same computation to the same end. *)
+val is_transient : t -> bool

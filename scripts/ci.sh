@@ -86,6 +86,38 @@ grep -q "1 rejected" "$TMP/corrupt-stderr.txt" \
   || { echo "corrupt entry was not rejected"; cat "$TMP/corrupt-stderr.txt"; exit 1; }
 echo "  corrupt entry rejected, recomputed, exit 0: ok"
 
+echo "== chaos smoke: absorbed schedule must be invisible on stdout =="
+# Faults at every layer, few enough that retries absorb them all: exit 0
+# and stdout byte-identical to the fault-free report above.
+$NOVA report --no-cache --chaos rung:2,pool:1 --chaos-seed 7 lion dk15 \
+  > "$TMP/report-chaos.txt" 2>/dev/null \
+  || { echo "absorbed chaos schedule crashed the report"; exit 1; }
+diff "$TMP/report-cold.txt" "$TMP/report-chaos.txt" \
+  || { echo "absorbed chaos schedule perturbed stdout"; exit 1; }
+echo "  absorbed faults: exit 0, stdout byte-identical: ok"
+
+echo "== chaos smoke: overwhelming schedule must fail typed =="
+# More rung faults than the retry budget: the report must exit with the
+# Job_crashed code (7), not die on an uncaught exception (above 125).
+rc=0; $NOVA report --no-cache --chaos rung:60 --chaos-seed 1 lion \
+  > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 7 ] || { echo "overwhelming chaos: expected exit 7, got $rc"; exit 1; }
+echo "  overwhelming faults: typed Job_crashed, exit 7: ok"
+
+echo "== cache fsck smoke: truncated entry swept, sweep idempotent =="
+for entry in "$TMP/cache"/*.nova-cache; do
+  head -c 20 "$entry" > "$entry.trunc" && mv "$entry.trunc" "$entry"
+  break
+done
+touch "$TMP/cache/deadbeef.nova-cache.tmp.1.0"
+$NOVA cache fsck "$TMP/cache" > "$TMP/fsck.txt" \
+  || { echo "cache fsck failed"; exit 1; }
+grep -q "1 broken removed, 1 stale tmp removed" "$TMP/fsck.txt" \
+  || { echo "fsck did not sweep the junk"; cat "$TMP/fsck.txt"; exit 1; }
+$NOVA cache fsck "$TMP/cache" | grep -q "0 broken removed, 0 stale tmp removed" \
+  || { echo "fsck is not idempotent"; exit 1; }
+echo "  fsck swept a truncated entry and a stale tmp, then ran clean: ok"
+
 echo "== trace smoke: traced stdout identical, trace validates =="
 VALIDATE=_build/default/scripts/validate_trace.exe
 $NOVA report --jobs 2 --no-cache lion dk15 > "$TMP/report-untraced.txt" 2>/dev/null
@@ -138,6 +170,33 @@ BENCH=$(pwd)/_build/default/bench/main.exe
 
 echo "== bench smoke (quick parallel executor) =="
 (cd "$TMP" && "$BENCH" --quick --jobs=2 parallel)
+
+echo "== parallel gate: pool must not be slower than sequential =="
+# Sequential fallback satellite: construct a pseudo-baseline whose
+# par_wall_s equals the measured seq_wall_s; bench-diff then fails iff
+# the pool path is slower than sequential beyond the threshold. On a
+# single-core runner effective_jobs forces the pool path to run
+# sequentially, so this gate also catches the fallback regressing.
+seq_wall=$(sed 's/.*"seq_wall_s":\([0-9.eE+-]*\).*/\1/' "$TMP/BENCH_parallel.json")
+sed "s/\"par_wall_s\":[0-9.eE+-]*/\"par_wall_s\":$seq_wall/" "$TMP/BENCH_parallel.json" \
+  > "$TMP/BENCH_parallel_seqbase.json"
+$NOVA bench-diff -t 30 "$TMP/BENCH_parallel_seqbase.json" "$TMP/BENCH_parallel.json" \
+  > /dev/null \
+  || { echo "pool path slower than sequential beyond threshold"; exit 1; }
+echo "  par_wall <= seq_wall (30% slack): ok"
+
+echo "== supervision gate: retry machinery must cost ~nothing =="
+# The committed artifact now records supervised vs bare walls; on this
+# run's fresh artifact the overhead must stay under 1% + measurement
+# slack (gated as a wall metric pair at 25%).
+sup_wall=$(sed 's/.*"supervised_wall_s":\([0-9.eE+-]*\).*/\1/' "$TMP/BENCH_parallel.json")
+unsup_wall=$(sed 's/.*"unsupervised_wall_s":\([0-9.eE+-]*\).*/\1/' "$TMP/BENCH_parallel.json")
+sed "s/\"supervised_wall_s\":[0-9.eE+-]*/\"supervised_wall_s\":$unsup_wall/" \
+  "$TMP/BENCH_parallel.json" > "$TMP/BENCH_parallel_barebase.json"
+$NOVA bench-diff -t 25 "$TMP/BENCH_parallel_barebase.json" "$TMP/BENCH_parallel.json" \
+  > /dev/null \
+  || { echo "supervision overhead beyond threshold (bare=$unsup_wall supervised=$sup_wall)"; exit 1; }
+echo "  supervised wall within 25% of bare wall: ok"
 
 echo "== bench smoke (quick espresso kernels) =="
 (cd "$TMP" && "$BENCH" --quick espresso)

@@ -1,0 +1,29 @@
+(* Helper process for the two-process cache race test: hammer one
+   cache directory with store/fsck cycles. OCaml 5 forbids Unix.fork
+   once domains exist, and the test binary's pool tests spawn domains
+   before the race test runs — so the second process is a real
+   executable, not a fork.
+
+   Usage: cache_racer.exe DIR ROUNDS   (exit 0 = clean, 1 = crashed) *)
+
+let () =
+  match Sys.argv with
+  | [| _; dir; rounds |] -> (
+      let rounds = int_of_string rounds in
+      let task =
+        Exec.Job.task (Benchmarks.Suite.find "lion") Harness.Driver.Igreedy
+      in
+      match Exec.Job.run task with
+      | Error _ -> exit 2
+      | Ok success -> (
+          try
+            let c = Exec.Cache.open_dir dir in
+            for _ = 1 to rounds do
+              Exec.Cache.store c task success;
+              ignore (Exec.Cache.fsck c)
+            done;
+            exit 0
+          with _ -> exit 1))
+  | _ ->
+      prerr_endline "usage: cache_racer.exe DIR ROUNDS";
+      exit 2

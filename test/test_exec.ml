@@ -195,28 +195,39 @@ let test_cache_tampered_entry_fails_certification () =
   let c = Exec.Cache.open_dir dir in
   ignore (Exec.Portfolio.run ~cache:c [ task ]);
   let path = Filename.concat dir (Exec.Job.key task ^ ".nova-cache") in
-  (* Drop one cube and fix the count: the entry still parses, but the
-     cover no longer implements the machine, so the independent checker
-     must refuse to serve it. *)
-  let lines = String.split_on_char '\n' (In_channel.with_open_bin path In_channel.input_all) in
-  let tampered =
+  (* Drop one cube, fix the count, and recompute the checksum header
+     over the tampered payload: the entry is structurally pristine and
+     still parses, but the cover no longer implements the machine, so
+     only the independent re-certification gate can refuse to serve
+     it. (A stale checksum would be caught earlier, by [fsck]-level
+     structural verification — deliberately bypassed here.) *)
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let payload =
+    (* strip "nova-cache/v2\nchecksum HEX\n" *)
+    let first = String.index text '\n' in
+    let second = String.index_from text (first + 1) '\n' in
+    String.sub text (second + 1) (String.length text - second - 1)
+  in
+  let tampered_payload =
     let dropping = ref false in
-    List.filter_map
-      (fun l ->
-        if !dropping then begin
-          dropping := false;
-          None (* the first cube line after the header *)
-        end
-        else if String.length l > 6 && String.sub l 0 6 = "cubes " then begin
-          dropping := true;
-          let k = int_of_string (String.sub l 6 (String.length l - 6)) in
-          Some (Printf.sprintf "cubes %d" (k - 1))
-        end
-        else Some l)
-      lines
+    String.split_on_char '\n' payload
+    |> List.filter_map (fun l ->
+           if !dropping then begin
+             dropping := false;
+             None (* the first cube line after the header *)
+           end
+           else if String.length l > 6 && String.sub l 0 6 = "cubes " then begin
+             dropping := true;
+             let k = int_of_string (String.sub l 6 (String.length l - 6)) in
+             Some (Printf.sprintf "cubes %d" (k - 1))
+           end
+           else Some l)
+    |> String.concat "\n"
   in
   Out_channel.with_open_bin path (fun oc ->
-      output_string oc (String.concat "\n" tampered));
+      Printf.fprintf oc "nova-cache/v2\nchecksum %s\n%s"
+        (Digest.to_hex (Digest.string tampered_payload))
+        tampered_payload);
   let c2 = Exec.Cache.open_dir dir in
   let rows = Exec.Portfolio.run ~cache:c2 [ task ] in
   let st = Exec.Cache.stats c2 in

@@ -2,6 +2,7 @@ let () =
   (* The driver's degradation warnings are exercised (and asserted on)
      explicitly; keep them from spraying the test log. *)
   Harness.Driver.quiet := true;
+  Exec.Supervise.quiet := true;
   Alcotest.run "nova"
     [
       ("bitvec", Test_bitvec.suite);
@@ -33,6 +34,7 @@ let () =
       ("check", Test_check.suite);
       ("kiss-fuzz", Test_kiss_fuzz.suite);
       ("exec", Test_exec.suite);
+      ("chaos", Test_chaos.suite);
       ("trace", Test_trace.suite);
       ("scaling", Test_scaling.suite);
     ]

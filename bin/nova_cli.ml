@@ -305,7 +305,6 @@ let encode algo bits seed pla instrument budget_ms max_work fallback no_fallback
         ("algorithm", Trace.String (Harness.Driver.name (driver_algo_of algo seed)));
       ]
   @@ fun () ->
-  let n = Fsm.num_states ~m in
   let budget = budget_of budget_ms max_work in
   let fallback = fallback && not no_fallback in
   match Harness.Driver.report ?bits ~budget ~fallback m (driver_algo_of algo seed) with
@@ -319,18 +318,13 @@ let encode algo bits seed pla instrument budget_ms max_work fallback no_fallback
               (Harness.Driver.rung_name rung)
               (Nova_error.to_string err))
           outcome.Harness.Driver.degradations;
-      Printf.printf "machine %s: %d states encoded in %d bits\n" m.Fsm.name n
-        encoding.Encoding.nbits;
-      Array.iteri
-        (fun s name -> Printf.printf "  %-12s %s\n" name (Encoding.code_string encoding s))
-        m.Fsm.states;
-      Printf.printf "two-level implementation: %d product terms, PLA area %d\n"
-        r.Encoded.num_cubes r.Encoded.area;
-      if n <= 60 && not (Budget.exhausted budget) then begin
-        let onehot = Encoded.implement ~budget m (Encoding.one_hot n) in
-        Printf.printf "(1-hot reference: %d product terms, area %d)\n" onehot.Encoded.num_cubes
-          onehot.Encoded.area
-      end;
+      (* Rendered through the shared module the daemon serves from, so
+         a served payload is byte-identical to this stdout by
+         construction (the CI determinism pin diffs the two). *)
+      print_string
+        (Serve.Render.encode_text m encoding ~num_cubes:r.Encoded.num_cubes
+           ~area:r.Encoded.area
+           ~onehot:(Serve.Render.onehot_reference ~budget m));
       if pla then
         Pla.print Format.std_formatter r.Encoded.cover
           ~num_binary_vars:(m.Fsm.num_inputs + encoding.Encoding.nbits);
@@ -392,7 +386,7 @@ let chaos_arg =
   let doc =
     "Seeded fault-injection schedule for the supervision tests: comma-separated \
      $(b,SITE:COUNT) pairs, e.g. $(b,rung:2,cache-read:1). Sites: rung, cache-read, \
-     cache-write, recertify, pool. Each site raises COUNT injected faults at \
+     cache-write, recertify, pool, serve. Each site raises COUNT injected faults at \
      seed-deterministic invocations; absorbed faults leave stdout byte-identical to a \
      fault-free run."
   in
@@ -424,17 +418,6 @@ let report_machines names heavy =
               | Error e -> Error e))
         (Ok []) names
       |> Result.map List.rev
-
-let row_cells (r : Exec.Job.row) =
-  match r.Exec.Job.result with
-  | Ok s ->
-      [
-        string_of_int s.Exec.Job.encoding.Encoding.nbits;
-        string_of_int s.Exec.Job.num_cubes;
-        string_of_int s.Exec.Job.area;
-        Harness.Driver.rung_name s.Exec.Job.produced_by;
-      ]
-  | Error _ -> [ "-"; "-"; "-"; "error" ]
 
 (* stdout carries only deterministic data (the table); wall-clock and
    cache statistics go to stderr so output is byte-comparable across
@@ -493,45 +476,9 @@ let report jobs race cache_dir no_cache heavy instrument quiet trace chaos chaos
           (rows, rows)
       in
       let wall = Unix.gettimeofday () -. t0 in
-      let header =
-        [ "machine"; "algorithm"; "nbits"; "cubes"; "area"; "produced_by" ]
-        @ if race then [] else [ "best" ]
-      in
-      let best_areas =
-        List.fold_left
-          (fun acc (r : Exec.Job.row) ->
-            match r.Exec.Job.result with
-            | Ok s ->
-                let name = r.Exec.Job.task.Exec.Job.machine.Fsm.name in
-                let a = s.Exec.Job.area in
-                (match List.assoc_opt name acc with
-                | Some b when b <= a -> acc
-                | _ -> (name, a) :: List.remove_assoc name acc)
-            | Error _ -> acc)
-          [] rows
-      in
-      let table_rows =
-        List.map
-          (fun (r : Exec.Job.row) ->
-            let name = r.Exec.Job.task.Exec.Job.machine.Fsm.name in
-            let algo = Harness.Driver.name r.Exec.Job.task.Exec.Job.algorithm in
-            let best =
-              if race then []
-              else
-                match r.Exec.Job.result with
-                | Ok s when List.assoc_opt name best_areas = Some s.Exec.Job.area -> [ "*" ]
-                | _ -> [ "" ]
-            in
-            ([ name; algo ] @ row_cells r) @ best)
-          rows
-      in
-      let title =
-        if race then Printf.sprintf "portfolio race (%d machines)" (List.length ms)
-        else
-          Printf.sprintf "portfolio report (%d machines x %d algorithms)" (List.length ms)
-            (List.length Exec.Portfolio.default_algorithms)
-      in
-      Harness.Report.print_table Format.std_formatter ~title ~header table_rows;
+      (* The shared renderer the daemon serves from: stdout here is
+         byte-identical to a served report payload by construction. *)
+      print_string (Serve.Render.report_table ~race ~num_machines:(List.length ms) rows);
       Printf.eprintf "report: %d rows in %.3fs (%d jobs%s)\n" (List.length rows) wall jobs
         (if race then ", racing" else "");
       (match cache with
@@ -719,11 +666,149 @@ let bench_scaling_cmd =
           numbers).")
     Term.(const run $ quick_arg $ reps_arg $ out_arg)
 
+(* --- bench serve: daemon latency tiers ------------------------------------- *)
+
+let bench_serve_cmd =
+  let run machine clients out =
+    if clients < 2 then
+      fail_with (Nova_error.Invalid_request "bench serve: --clients must be >= 2")
+    else begin
+      (* A private socket and a fresh cache: the three tiers must be
+         cold compute, certified hit, and coalesced share — a shared
+         cache directory would turn "cold" into a hit. *)
+      let socket = Filename.temp_file "nova-serve-bench" ".sock" in
+      let cache_dir = Filename.temp_file "nova-serve-bench" ".cache" in
+      Sys.remove cache_dir;
+      let cfg =
+        {
+          Serve.Server.socket_path = socket; jobs = 1; max_inflight = 1;
+          cap_deadline_ms = None; cap_work = None;
+          cache = Some (Exec.Cache.open_dir cache_dir); quiet = true;
+        }
+      in
+      let server = Thread.create (fun () -> ignore (Serve.Server.run cfg)) () in
+      let request_on sock line =
+        match Serve.Client.connect sock with
+        | Error m -> Error m
+        | Ok c ->
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close c)
+              (fun () -> Serve.Client.request c line)
+      in
+      let request line = request_on socket line in
+      (* Wait for the daemon to accept; a ping also warms the code path
+         so the cold sample measures encode, not module initialization. *)
+      let await_on sock =
+        let rec go tries =
+          match request_on sock (Serve.Protocol.verb_line "ping") with
+          | Ok _ -> true
+          | Error _ when tries > 0 ->
+              Thread.delay 0.02;
+              go (tries - 1)
+          | Error _ -> false
+        in
+        go 250
+      in
+      if not (await_on socket) then fail_with (Nova_error.Invalid_request "bench serve: daemon did not come up")
+      else begin
+        let timed f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let must = function
+          | Ok (r : Serve.Protocol.reply) when r.Serve.Protocol.ok -> r
+          | Ok r ->
+              failwith
+                ("bench serve: server error: "
+                ^ Option.value r.Serve.Protocol.error ~default:"?")
+          | Error m -> failwith ("bench serve: " ^ m)
+        in
+        let mref = Serve.Protocol.Builtin machine in
+        let cold_line = Serve.Protocol.encode_line ~algorithm:"ihybrid" mref in
+        let _, cold_s = timed (fun () -> must (request cold_line)) in
+        let warm, warm_s = timed (fun () -> must (request cold_line)) in
+        (* Coalesced tier: the very same machine and algorithm as the
+           cold tier, but against a second, cache-less daemon — the key
+           is fresh there, so one leader recomputes the cold work while
+           the other clients coalesce onto it. Per-request wall is then
+           directly comparable to [cold_s]: sharing is the only lever. *)
+        let socket2 = Filename.temp_file "nova-serve-bench" ".sock2" in
+        let cfg2 =
+          { (Serve.Server.default_config ~socket_path:socket2) with Serve.Server.quiet = true }
+        in
+        let server2 = Thread.create (fun () -> ignore (Serve.Server.run cfg2)) () in
+        if not (await_on socket2) then
+          fail_with (Nova_error.Invalid_request "bench serve: second daemon did not come up")
+        else begin
+        let replies = Array.make clients None in
+        let _, batch_s =
+          timed (fun () ->
+              let threads =
+                List.init clients (fun i ->
+                    Thread.create
+                      (fun () -> replies.(i) <- Some (must (request_on socket2 cold_line)))
+                      ())
+              in
+              List.iter Thread.join threads)
+        in
+        let origins =
+          Array.to_list replies
+          |> List.filter_map (fun r ->
+                 Option.bind r (fun (r : Serve.Protocol.reply) -> r.Serve.Protocol.origin))
+        in
+        let coalesced_n =
+          List.length (List.filter (fun o -> o = "coalesced") origins)
+        in
+        let coalesced_s = batch_s /. float_of_int clients in
+        let rps = float_of_int clients /. batch_s in
+        ignore (must (request_on socket2 (Serve.Protocol.verb_line "shutdown")));
+        Thread.join server2;
+        ignore (must (request (Serve.Protocol.verb_line "shutdown")));
+        Thread.join server;
+        let oc = open_out out in
+        Printf.fprintf oc
+          "{\"schema\":\"nova-bench-serve/v1\",\"mode\":\"default\",\"runs\":[{\"name\":\"%s\",\"mode\":\"encode\",\"algorithm\":\"ihybrid\",\"cold_wall_s\":%.6f,\"warm_wall_s\":%.6f,\"warm_origin\":\"%s\",\"coalesced_wall_s\":%.6f,\"rps\":%.2f,\"clients\":%d,\"coalesced\":%d}]}\n"
+          machine cold_s warm_s
+          (Option.value warm.Serve.Protocol.origin ~default:"?")
+          coalesced_s rps clients coalesced_n;
+        close_out oc;
+        Printf.printf
+          "serve bench %s: cold %.4fs, warm %.4fs (%.1fx), coalesced %.4fs/req over %d \
+           clients (%.1fx, %d shared), %.1f req/s\n"
+          machine cold_s warm_s (cold_s /. warm_s) coalesced_s clients
+          (cold_s /. coalesced_s) coalesced_n rps;
+        Printf.eprintf "wrote %s\n" out;
+        0
+        end
+      end
+    end
+  in
+  let machine_name_arg =
+    let doc = "Built-in machine to serve (the compute must dwarf the protocol overhead)." in
+    Arg.(value & opt string "dk16" & info [ "m"; "machine" ] ~docv:"NAME" ~doc)
+  in
+  let clients_arg =
+    let doc = "Concurrent identical clients for the coalesced tier." in
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Output artifact path." in
+    Arg.(value & opt string "BENCH_serve.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Measure the daemon's three latency tiers — cold compute, certified cache hit, \
+          coalesced share — against an in-process server on a private socket, and write \
+          the nova-bench-serve/v1 artifact that $(b,nova bench-diff) gates on.")
+    Term.(const run $ machine_name_arg $ clients_arg $ out_arg)
+
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench"
        ~doc:"Statistical benchmarks (see also bench/main.exe for the point-sample modes).")
-    [ bench_scaling_cmd ]
+    [ bench_scaling_cmd; bench_serve_cmd ]
 
 (* --- bench-diff ------------------------------------------------------------ *)
 
@@ -812,6 +897,168 @@ let cache_cmd =
     (Cmd.info "cache" ~doc:"Maintain the content-addressed result cache.")
     [ cache_fsck_cmd ]
 
+(* --- serve: the batching encode daemon ------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path (created at startup, removed at shutdown)." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let max_inflight_arg =
+    let doc =
+      "Concurrent compute slots: how many requests may be computing at once (coalesced \
+       requests share a slot; connections are unbounded). The default of 1 serializes \
+       compute, which also keeps a $(b,--trace) artifact's span stacks valid."
+    in
+    Arg.(value & opt int 1 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let request_budget_ms_arg =
+    let doc =
+      "Admission ceiling: the most wall-clock any single request's compute may consume \
+       (milliseconds). A request asking for less keeps its own deadline; one asking for \
+       more is clamped — one huge FSM cannot starve the queue."
+    in
+    Arg.(value & opt (some float) None & info [ "request-budget-ms" ] ~docv:"MS" ~doc)
+  in
+  let request_max_work_arg =
+    let doc = "Admission ceiling on the work budget of a single request's compute." in
+    Arg.(value & opt (some int) None & info [ "request-max-work" ] ~docv:"N" ~doc)
+  in
+  let run socket jobs max_inflight cap_ms cap_work cache_dir no_cache quiet trace chaos
+      chaos_seed =
+    if quiet then begin
+      Harness.Driver.quiet := true;
+      Exec.Supervise.quiet := true
+    end;
+    match
+      match chaos with
+      | None -> Ok ()
+      | Some spec -> (
+          match Exec.Chaos.configure ~seed:chaos_seed spec with
+          | Ok () -> Ok ()
+          | Error msg -> Error (Nova_error.Invalid_request ("--chaos " ^ msg)))
+    with
+    | Error err -> fail_with err
+    | Ok () -> (
+        run_traced trace
+          ~meta:[ ("socket", Trace.String socket); ("jobs", Trace.Int jobs) ]
+        @@ fun () ->
+        let cache =
+          if no_cache then None
+          else
+            Some (Exec.Cache.open_dir (Option.value cache_dir ~default:(default_cache_dir ())))
+        in
+        let cfg =
+          {
+            Serve.Server.socket_path = socket; jobs; max_inflight;
+            cap_deadline_ms = cap_ms; cap_work; cache; quiet;
+          }
+        in
+        match Serve.Server.run cfg with Ok () -> 0 | Error e -> fail_with e)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the encode daemon: a long-running server on a Unix-domain socket speaking \
+          newline-delimited JSON, coalescing concurrent identical jobs, serving certified \
+          cache hits without touching the pool and routing misses through the supervised \
+          portfolio. SIGINT/SIGTERM (or the shutdown verb) drain in-flight requests, sweep \
+          the cache of stale temp files and remove the socket.")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ max_inflight_arg $ request_budget_ms_arg
+      $ request_max_work_arg $ cache_dir_arg $ no_cache_arg $ quiet_arg $ trace_arg
+      $ chaos_arg $ chaos_seed_arg)
+
+(* --- client ---------------------------------------------------------------- *)
+
+(* Print the payload (the daemon serves the exact one-shot stdout, so
+   this is what `nova encode`/`nova report` would have printed), relay
+   a typed error to stderr, and exit with the server-reported code —
+   the daemon's equivalent of the one-shot exit-code contract. *)
+let client_finish (reply : Serve.Protocol.reply) =
+  (match reply.Serve.Protocol.payload with
+  | Some p ->
+      print_string p;
+      if p <> "" && p.[String.length p - 1] <> '\n' then print_newline ()
+  | None -> ());
+  if reply.Serve.Protocol.ok then 0
+  else begin
+    (match reply.Serve.Protocol.error with
+    | Some e -> Printf.eprintf "nova: %s\n" e
+    | None -> Printf.eprintf "nova: server error\n");
+    max 1 reply.Serve.Protocol.code
+  end
+
+let client_roundtrip socket line =
+  match Serve.Client.connect socket with
+  | Error m -> fail_with (Nova_error.Invalid_request m)
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          match Serve.Client.request c line with
+          | Error m -> fail_with (Nova_error.Invalid_request ("client: " ^ m))
+          | Ok reply -> client_finish reply)
+
+(* Same resolution order as [read_machine], but a file travels as its
+   KISS2 text (the server never reads client-side paths) and a non-file
+   as a built-in suite name the server resolves. *)
+let machine_ref_of path =
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    Serve.Protocol.Kiss2
+      { name = Some (Filename.remove_extension (Filename.basename path)); text }
+  end
+  else Serve.Protocol.Builtin path
+
+let client_cmd =
+  let verb_cmd name doc =
+    let run socket = client_roundtrip socket (Serve.Protocol.verb_line name) in
+    Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg)
+  in
+  let algo_name_arg =
+    let doc = "Encoding algorithm, by driver name (e.g. ihybrid, iexact, mustang-nt)." in
+    Arg.(value & opt string "ihybrid" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+  in
+  let encode_cmd =
+    let run socket algo bits max_work fallback no_fallback budget_ms path =
+      let fallback = fallback && not no_fallback in
+      client_roundtrip socket
+        (Serve.Protocol.encode_line ~algorithm:algo ?bits ?max_work ~fallback ?budget_ms
+           (machine_ref_of path))
+    in
+    Cmd.v
+      (Cmd.info "encode"
+         ~doc:
+           "Request an encode from the daemon. The printed payload is byte-identical to \
+            the one-shot $(b,nova encode) stdout; the exit code matches too.")
+      Term.(
+        const run $ socket_arg $ algo_name_arg $ bits_arg $ max_work_arg $ fallback_arg
+        $ no_fallback_arg $ budget_ms_arg $ machine_arg)
+  in
+  let report_cmd =
+    let run socket budget_ms path =
+      client_roundtrip socket (Serve.Protocol.report_line ?budget_ms (machine_ref_of path))
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Request a full portfolio report for one machine from the daemon (byte-identical \
+            payload and exit code to one-shot $(b,nova report MACHINE)).")
+      Term.(const run $ socket_arg $ budget_ms_arg $ machine_arg)
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running nova serve daemon.")
+    [
+      verb_cmd "ping" "Check the daemon is alive (prints pong).";
+      verb_cmd "stats" "Print the daemon's served/coalesced/cache counters.";
+      verb_cmd "shutdown" "Ask the daemon to drain, clean up and exit.";
+      encode_cmd; report_cmd;
+    ]
+
 (* --- list ----------------------------------------------------------------- *)
 
 let list_cmd =
@@ -837,6 +1084,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            stats_cmd; constraints_cmd; encode_cmd; report_cmd; minstates_cmd; dot_cmd;
-            blif_cmd; gen_cmd; list_cmd; bench_cmd; bench_diff_cmd; cache_cmd;
+            stats_cmd; constraints_cmd; encode_cmd; report_cmd; serve_cmd; client_cmd;
+            minstates_cmd; dot_cmd; blif_cmd; gen_cmd; list_cmd; bench_cmd; bench_diff_cmd;
+            cache_cmd;
           ]))

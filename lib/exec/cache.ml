@@ -356,6 +356,45 @@ let store (c : t) (task : Job.task) (s : Job.success) =
 
 type fsck_report = { scanned : int; valid : int; removed : int; tmp_removed : int }
 
+(* The shutdown half of fsck, scoped to what *this process* may have
+   leaked: its own writer temp files (named [...tmp.<pid>.<domain>]) and
+   lock files whose entry is gone. A daemon interrupted mid-store calls
+   this on the way out so the shared cache directory never needs a
+   manual [nova cache fsck] after a SIGINT — and because the sweep only
+   matches this pid's temp names, it can never disturb a concurrent
+   server writing through the same directory. Advisory locks themselves
+   die with the process's fds; only their empty lock files linger. *)
+let sweep_own_tmp (c : t) =
+  let own_tmp_marker = Printf.sprintf "%s.tmp.%d." entry_suffix (Unix.getpid ()) in
+  let files = try Sys.readdir c.dir with Sys_error _ -> [||] in
+  let removed = ref 0 in
+  Array.iter
+    (fun name ->
+      let path = Filename.concat c.dir name in
+      let is_own_tmp =
+        let n = String.length own_tmp_marker in
+        let rec at i =
+          i + n <= String.length name && (String.sub name i n = own_tmp_marker || at (i + 1))
+        in
+        at 0
+      in
+      let is_orphan_lock =
+        (let suffix = entry_suffix ^ ".lock" in
+         String.length name >= String.length suffix
+         && String.sub name
+              (String.length name - String.length suffix)
+              (String.length suffix)
+            = suffix)
+        && not (Sys.file_exists (Filename.concat c.dir (Filename.chop_suffix name ".lock")))
+      in
+      if is_own_tmp || is_orphan_lock then
+        try
+          Sys.remove path;
+          if is_own_tmp then incr removed
+        with Sys_error _ -> ())
+    files;
+  !removed
+
 let entry_structurally_valid text =
   match verify_checksum text with
   | payload ->

@@ -78,3 +78,13 @@ type fsck_report = { scanned : int; valid : int; removed : int; tmp_removed : in
     counts as a rejection in {!stats}. Never raises on I/O errors —
     an unreadable entry is simply removed. *)
 val fsck : t -> fsck_report
+
+(** [sweep_own_tmp c] is the shutdown-scoped slice of {!fsck}: removes
+    the calling {e process}'s leftover writer temp files (their names
+    carry the pid) plus lock files whose entry is gone, and returns how
+    many temp files were removed. Entries themselves are never touched,
+    and other processes' temp files are left alone — safe to run while
+    a second server shares the directory. The [lib/serve] daemon runs
+    this on SIGINT/SIGTERM/shutdown so an interrupted daemon never
+    leaves the cache needing a manual [nova cache fsck]. *)
+val sweep_own_tmp : t -> int

@@ -15,7 +15,7 @@
    dependent, but the supervised executor's recovery makes the final
    results independent of that (see test/test_chaos.ml). *)
 
-type site = Rung | Cache_read | Cache_write | Recertify | Pool_worker
+type site = Rung | Cache_read | Cache_write | Recertify | Pool_worker | Serve
 
 exception Injected of { site : site; index : int }
 
@@ -25,8 +25,9 @@ let site_name = function
   | Cache_write -> "cache-write"
   | Recertify -> "recertify"
   | Pool_worker -> "pool"
+  | Serve -> "serve"
 
-let all_sites = [ Rung; Cache_read; Cache_write; Recertify; Pool_worker ]
+let all_sites = [ Rung; Cache_read; Cache_write; Recertify; Pool_worker; Serve ]
 let site_of_name s = List.find_opt (fun x -> site_name x = s) all_sites
 let site_code = function
   | Rung -> 1
@@ -34,6 +35,7 @@ let site_code = function
   | Cache_write -> 3
   | Recertify -> 4
   | Pool_worker -> 5
+  | Serve -> 6
 
 (* Per-site plan: the invocation counter plus the sorted fire indices
    drawn from the window. Installed atomically as a whole (plans are

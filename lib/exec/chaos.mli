@@ -20,14 +20,18 @@
       encoding algorithm crashing);
     - [Cache_read] / [Cache_write] / [Recertify] — I/O and
       recertification faults inside {!Cache.find} / {!Cache.store};
-    - [Pool_worker] — a domain dying inside the {!Pool} worker loop.
+    - [Pool_worker] — a domain dying inside the {!Pool} worker loop;
+    - [Serve] — the request handling path of the [lib/serve] daemon
+      (between a parsed request and its response), so seeded schedules
+      can fault the accept/respond path: the server must answer with a
+      typed error, never crash or hang the connection.
 
     Invocation counters are atomics (cross-domain sound); which
     invocation a particular task observes is scheduling-dependent, and
     the supervised executor's recovery must make final results
     independent of that — the invariant test/test_chaos.ml proves. *)
 
-type site = Rung | Cache_read | Cache_write | Recertify | Pool_worker
+type site = Rung | Cache_read | Cache_write | Recertify | Pool_worker | Serve
 
 (** The injected fault: [index] is the site's invocation that drew it. *)
 exception Injected of { site : site; index : int }

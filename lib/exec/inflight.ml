@@ -1,0 +1,67 @@
+(* At most one computation per key; followers block and share the
+   leader's result. See the interface for the contract.
+
+   One mutex guards the table and every entry's state; it is never held
+   while a leader runs user code, so distinct keys compute concurrently
+   and the lock is only ever held for a few loads and stores. Followers
+   wait on the entry's condition; the leader settles the entry, removes
+   it from the table (the key is immediately free for a fresh
+   computation) and broadcasts. Followers still hold a reference to the
+   settled entry, so removal cannot strand them. *)
+
+type 'a outcome = Pending | Done of 'a | Crashed of exn
+
+type 'a entry = { mutable outcome : 'a outcome; cond : Condition.t }
+
+type 'a t = { mutex : Mutex.t; table : (string, 'a entry) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 32 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let inflight t = locked t (fun () -> Hashtbl.length t.table)
+
+let run t ~key f =
+  let role =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some entry -> `Follow entry
+        | None ->
+            let entry = { outcome = Pending; cond = Condition.create () } in
+            Hashtbl.add t.table key entry;
+            `Lead entry)
+  in
+  match role with
+  | `Follow entry ->
+      (* Wait for the leader to settle the entry. The predicate re-check
+         guards against spurious wakeups; the entry is settled exactly
+         once, so a woken follower always finds a final outcome. *)
+      let outcome =
+        locked t (fun () ->
+            while entry.outcome = Pending do
+              Condition.wait entry.cond t.mutex
+            done;
+            entry.outcome)
+      in
+      (match outcome with
+      | Done v -> (v, `Coalesced)
+      | Crashed e -> raise e
+      | Pending -> assert false)
+  | `Lead entry ->
+      let settle outcome =
+        locked t (fun () ->
+            entry.outcome <- outcome;
+            Hashtbl.remove t.table key;
+            Condition.broadcast entry.cond)
+      in
+      (match f () with
+      | v ->
+          settle (Done v);
+          (v, `Leader)
+      | exception e ->
+          (* Any exception — fatal ones included — settles the entry
+             first (followers must not hang), then propagates. *)
+          settle (Crashed e);
+          raise e)

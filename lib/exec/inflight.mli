@@ -1,0 +1,33 @@
+(** In-flight request coalescing: at most one computation per key.
+
+    The dedup hook under [lib/serve]'s batching daemon — N concurrent
+    requests for the same content address ({!Job.key}) share one
+    computation and all receive the same result value. Unlike the
+    on-disk {!Cache} (which deduplicates {e across} runs), this table
+    deduplicates {e within} the present moment: the window between a
+    cache miss and its store, where a thundering herd would otherwise
+    compute the same job N times.
+
+    Thread/domain-safe: callers may arrive from any systhread or domain.
+    The table never holds its lock while user code runs, so computations
+    for different keys proceed concurrently.
+
+    A leader whose computation raises wakes every follower with the same
+    exception (each follower re-raises it) and clears the slot — the
+    next request for that key starts a fresh computation, so a transient
+    crash is never sticky. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [run t ~key f] joins the in-flight computation for [key], or starts
+    one. Exactly one caller (the {e leader}, first come) runs [f]; every
+    other caller blocks until the leader finishes and receives the very
+    same result. Returns the result paired with this caller's role.
+    Once a computation settles, the key is free again: a later [run]
+    leads a fresh computation. *)
+val run : 'a t -> key:string -> (unit -> 'a) -> 'a * [ `Leader | `Coalesced ]
+
+(** [inflight t] is the number of keys currently computing (tests). *)
+val inflight : 'a t -> int

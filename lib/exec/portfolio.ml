@@ -86,8 +86,18 @@ let supervised_run policy ?budget (task : Job.task) =
       Chaos.maybe_raise Chaos.Rung;
       Instrument.time (job_timer task) (fun () -> Job.run ?budget task))
 
-(* One plain (non-racing) job: cache lookup, else compute and store. *)
-let run_one ~policy ?cache (task : Job.task) =
+(* One plain (non-racing) job: cache lookup, else compute and store.
+   [budget] is an externally imposed budget (the serving layer's
+   per-request admission budget). It *wraps* the task's intrinsic
+   [max_work] cap rather than replacing it — the cap is part of the
+   cache fingerprint, so it must keep tripping at exactly the same
+   point as a one-shot run; the external ceiling rides above it as a
+   [Budget.sub] parent. A result produced under a tripped external
+   budget is degraded by something outside the content address (when
+   a deadline hit, an admission work ceiling the fingerprint never saw)
+   — it must never enter the cache. The intrinsic cap trips on the
+   child, never the parent, so those stores proceed as usual. *)
+let run_one ~policy ?cache ?budget (task : Job.task) =
   traced_job task @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let finish result origin =
@@ -96,11 +106,23 @@ let run_one ~policy ?cache (task : Job.task) =
   match Option.bind cache (fun c -> Cache.find c task) with
   | Some s -> finish (Ok s) Job.Cached
   | None ->
-      let result = supervised_run policy task in
+      let run_budget =
+        match (budget, task.Job.max_work) with
+        | None, _ -> None
+        | Some b, Some w -> Some (Budget.sub ~max_work:w b)
+        | Some b, None -> Some b
+      in
+      let result = supervised_run policy ?budget:run_budget task in
+      let externally_degraded =
+        match budget with Some b -> Budget.exhausted b | None -> false
+      in
       (match (cache, result) with
-      | Some c, Ok s -> Cache.store c task s
+      | Some c, Ok s when not externally_degraded -> Cache.store c task s
       | _ -> ());
       finish result Job.Computed
+
+let run_task ?(policy = Supervise.default_policy) ?cache ?budget task =
+  run_one ~policy ?cache ?budget task
 
 (* A slot the pool itself had to isolate (an injected domain death, or
    a crash outside the supervisor): restart the job once in-process —

@@ -46,6 +46,23 @@ val run :
   ?jobs:int -> ?cache:Cache.t -> ?policy:Supervise.policy ->
   Job.task list -> Job.row list
 
+(** [run_task ?policy ?cache ?budget task] is the supervised single-job
+    path {!run} applies to each task — cache lookup, else compute under
+    {!Supervise.run} and store — exposed for callers that schedule jobs
+    themselves (the [lib/serve] daemon). [budget] is an {e external}
+    admission budget (a serving layer's per-request deadline/work
+    ceiling). It wraps — never replaces — the task's own [max_work]
+    cap: the task cap becomes a {!Budget.sub} child so it trips at
+    exactly the one-shot point (it is part of the cache fingerprint),
+    while the external ceiling rides above it. A result produced under
+    a {e tripped external} budget is returned but {b never cached}:
+    its degradation came from something outside the content address.
+    A trip of the task's intrinsic cap stores as usual. With [budget]
+    absent this is bit-identical to a 1-task {!run}. *)
+val run_task :
+  ?policy:Supervise.policy -> ?cache:Cache.t -> ?budget:Budget.t ->
+  Job.task -> Job.row
+
 (** [race ?jobs ?cache ?policy tasks] races the tasks (one machine's
     portfolio rungs) against each other and returns the rows (task
     order: losers keep their cancelled/partial status) plus the index

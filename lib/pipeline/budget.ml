@@ -34,6 +34,30 @@ let create ?max_work ?deadline_ms ?cancel () =
 
 let sub ?max_work parent = make ~parent ?max_work ()
 
+type caps = { cap_deadline_ms : float option; cap_work : int option }
+
+let no_caps = { cap_deadline_ms = None; cap_work = None }
+
+(* Admission-control budget derivation: a serving layer imposes its own
+   per-request ceilings on top of whatever the request asked for. The
+   effective limit on each axis is the minimum of the two — a request
+   can always ask for less than the cap, never for more, and an axis
+   neither side bounds stays unlimited. *)
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (min x y)
+
+(* Always a fresh root, even when unconstrained: derived budgets are
+   ticked by concurrent request handlers, and sharing the global
+   [unlimited] value across them would share its counters. *)
+let derive ?deadline_ms ?max_work caps =
+  match
+    (min_opt caps.cap_deadline_ms deadline_ms, min_opt caps.cap_work max_work)
+  with
+  | None, None -> create ()
+  | deadline_ms, max_work -> create ?deadline_ms ?max_work ()
+
 let reason_name = function Work -> "work" | Deadline -> "deadline" | Cancelled -> "cancelled"
 
 (* Trip [b] with [r] unless already tripped: the first reason wins, even

@@ -46,6 +46,23 @@ val create : ?max_work:int -> ?deadline_ms:float -> ?cancel:(unit -> bool) -> un
     against [parent], and it is exhausted as soon as [parent] is. *)
 val sub : ?max_work:int -> t -> t
 
+(** Server-side admission ceilings: the most deadline / work a single
+    request may consume, regardless of what it asked for. *)
+type caps = { cap_deadline_ms : float option; cap_work : int option }
+
+(** No ceilings: {!derive} then builds the budget the request asked
+    for. *)
+val no_caps : caps
+
+(** [derive ?deadline_ms ?max_work caps] is the per-request budget a
+    serving layer admits the request under: on each axis the minimum of
+    the request's ask and the cap (an axis neither side bounds stays
+    unlimited). Always a {e fresh} root — never the shared {!unlimited}
+    value — because derived budgets are ticked concurrently by request
+    handlers; with {!no_caps} and no request limits it is behaviorally
+    the one-shot CLI's default. *)
+val derive : ?deadline_ms:float -> ?max_work:int -> caps -> t
+
 (** [tick b] charges one unit of work. Returns [false] when the budget
     (or an ancestor) is exhausted — the caller should stop. *)
 val tick : t -> bool

@@ -1,0 +1,55 @@
+type t = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536 }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+
+let send t s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off len =
+    if len = 0 then Ok ()
+    else
+      match Unix.write t.fd b off len with
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "write: %s" (Unix.error_message e))
+  in
+  go 0 (Bytes.length b)
+
+let read_line t =
+  let rec go () =
+    let s = Buffer.contents t.buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear t.buf;
+        Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+        Ok (String.sub s 0 i)
+    | None -> (
+        match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+        | 0 -> Error "server closed the connection"
+        | n ->
+            Buffer.add_subbytes t.buf t.chunk 0 n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "read: %s" (Unix.error_message e)))
+  in
+  go ()
+
+let request_raw t line =
+  let line =
+    if String.length line > 0 && line.[String.length line - 1] = '\n' then line else line ^ "\n"
+  in
+  match send t line with Error m -> Error m | Ok () -> read_line t
+
+let request t line =
+  match request_raw t line with
+  | Error m -> Error m
+  | Ok response -> Protocol.parse_reply response

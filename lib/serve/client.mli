@@ -1,0 +1,27 @@
+(** Client side of the daemon protocol: connect to the socket, send one
+    request line, read one response line. Used by [nova client ...] and
+    the serve test suites. *)
+
+type t
+
+(** [connect path] connects to the server's Unix-domain socket.
+    [Error] carries a human-readable reason (no such socket, nothing
+    listening). *)
+val connect : string -> (t, string) result
+
+val close : t -> unit
+
+(** [request t line] sends [line] (newline appended if missing) and
+    decodes the response. [Error] is a transport- or framing-level
+    failure (server closed the connection, malformed response line) —
+    a typed protocol error is an [Ok] reply with [ok = false]. *)
+val request : t -> string -> (Protocol.reply, string) result
+
+(** [request_raw t line] sends [line] verbatim — no newline appended,
+    no response decoding; returns the raw response line. For the
+    protocol fuzz tests, which need to send garbage and half-requests. *)
+val request_raw : t -> string -> (string, string) result
+
+(** [send t s] writes [s] verbatim without reading anything back — for
+    fuzzing mid-request disconnects (send half a line, [close]). *)
+val send : t -> string -> (unit, string) result

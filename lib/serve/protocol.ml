@@ -1,0 +1,199 @@
+type machine_ref = Builtin of string | Kiss2 of { name : string option; text : string }
+
+type encode_request = {
+  machine : machine_ref;
+  algorithm : Harness.Driver.algorithm;
+  bits : int option;
+  max_work : int option;
+  fallback : bool;
+  budget_ms : float option;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Encode of encode_request
+  | Report of { machine : machine_ref; budget_ms : float option }
+
+type parsed = { id : Json_min.t option; request : request }
+
+let proto = "nova-serve/1"
+
+(* Generous: a synthetic stress machine's KISS2 text is well under a
+   megabyte; anything approaching this cap is garbage, not a request. *)
+let max_line_bytes = 8 * 1024 * 1024
+
+(* Field accessors that distinguish "absent" (use the default) from
+   "present but the wrong shape" (a typed protocol error) — a client
+   sending ["bits": "five"] must hear about it, not silently run with
+   the default. *)
+exception Bad of string
+
+let parse_request line =
+  match Json_min.of_string line with
+  | exception Json_min.Parse_error msg ->
+      Error (None, Nova_error.Parse_error { file = "<request>"; line = 1; col = 0; msg })
+  | json -> (
+      let id = Json_min.member "id" json in
+      let bad fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt in
+      let str_field k =
+        match Json_min.member k json with
+        | None -> None
+        | Some (Json_min.Str s) -> Some s
+        | Some _ -> bad "field %S must be a string" k
+      in
+      let int_field k =
+        match Json_min.member k json with
+        | None -> None
+        | Some (Json_min.Num f) when Float.is_integer f -> Some (int_of_float f)
+        | Some _ -> bad "field %S must be an integer" k
+      in
+      let float_field k =
+        match Json_min.member k json with
+        | None -> None
+        | Some (Json_min.Num f) -> Some f
+        | Some _ -> bad "field %S must be a number" k
+      in
+      let bool_field k default =
+        match Json_min.member k json with
+        | None -> default
+        | Some (Json_min.Bool b) -> b
+        | Some _ -> bad "field %S must be a boolean" k
+      in
+      let machine_ref () =
+        match (str_field "machine", str_field "kiss2") with
+        | Some _, Some _ -> bad "give either \"machine\" or \"kiss2\", not both"
+        | Some m, None -> Builtin m
+        | None, Some text -> Kiss2 { name = str_field "name"; text }
+        | None, None -> bad "missing \"machine\" or \"kiss2\""
+      in
+      try
+        match json with
+        | Json_min.Obj _ -> (
+            match str_field "verb" with
+            | None -> bad "missing \"verb\""
+            | Some "ping" -> Ok { id; request = Ping }
+            | Some "stats" -> Ok { id; request = Stats }
+            | Some "shutdown" -> Ok { id; request = Shutdown }
+            | Some "report" ->
+                Ok
+                  {
+                    id;
+                    request =
+                      Report { machine = machine_ref (); budget_ms = float_field "budget_ms" };
+                  }
+            | Some "encode" ->
+                let algorithm =
+                  match str_field "algorithm" with
+                  | None -> Harness.Driver.Ihybrid
+                  | Some s -> (
+                      match Harness.Driver.algorithm_of_name s with
+                      | Some a -> a
+                      | None -> bad "unknown algorithm %S" s)
+                in
+                Ok
+                  {
+                    id;
+                    request =
+                      Encode
+                        {
+                          machine = machine_ref ();
+                          algorithm;
+                          bits = int_field "bits";
+                          max_work = int_field "max_work";
+                          fallback = bool_field "fallback" true;
+                          budget_ms = float_field "budget_ms";
+                        };
+                  }
+            | Some v -> bad "unknown verb %S" v)
+        | _ -> bad "request must be a JSON object"
+      with Bad msg -> Error (id, Nova_error.Invalid_request msg))
+
+(* --- responses --------------------------------------------------------- *)
+
+let opt_id id fields = match id with None -> fields | Some v -> ("id", v) :: fields
+let line_of fields = Json_min.render (Json_min.Obj fields) ^ "\n"
+
+let ok_response ?id ?origin ?(extra = []) ~payload () =
+  line_of
+    (opt_id id
+       ([ ("status", Json_min.Str "ok") ]
+       @ (match origin with None -> [] | Some o -> [ ("origin", Json_min.Str o) ])
+       @ [ ("payload", Json_min.Str payload) ]
+       @ extra))
+
+let error_response ?id ?payload err =
+  line_of
+    (opt_id id
+       ([
+          ("status", Json_min.Str "error");
+          ("code", Json_min.Num (float_of_int (Nova_error.exit_code err)));
+          ("error", Json_min.Str (Nova_error.to_string err));
+        ]
+       @ match payload with None -> [] | Some p -> [ ("payload", Json_min.Str p) ]))
+
+(* --- client side ------------------------------------------------------- *)
+
+let machine_fields = function
+  | Builtin m -> [ ("machine", Json_min.Str m) ]
+  | Kiss2 { name; text } -> (
+      ("kiss2", Json_min.Str text)
+      :: (match name with None -> [] | Some n -> [ ("name", Json_min.Str n) ]))
+
+let opt_int k v = match v with None -> [] | Some i -> [ (k, Json_min.Num (float_of_int i)) ]
+let opt_num k v = match v with None -> [] | Some f -> [ (k, Json_min.Num f) ]
+
+let encode_line ?id ?bits ?max_work ?fallback ?budget_ms ~algorithm machine =
+  line_of
+    (opt_id id
+       ([ ("verb", Json_min.Str "encode") ]
+       @ machine_fields machine
+       @ [ ("algorithm", Json_min.Str algorithm) ]
+       @ opt_int "bits" bits @ opt_int "max_work" max_work
+       @ (match fallback with None -> [] | Some b -> [ ("fallback", Json_min.Bool b) ])
+       @ opt_num "budget_ms" budget_ms))
+
+let report_line ?id ?budget_ms machine =
+  line_of
+    (opt_id id
+       ([ ("verb", Json_min.Str "report") ]
+       @ machine_fields machine @ opt_num "budget_ms" budget_ms))
+
+let verb_line ?id verb = line_of (opt_id id [ ("verb", Json_min.Str verb) ])
+
+type reply = {
+  reply_id : Json_min.t option;
+  ok : bool;
+  code : int;
+  origin : string option;
+  payload : string option;
+  error : string option;
+  raw : Json_min.t;
+}
+
+let parse_reply line =
+  match Json_min.of_string line with
+  | exception Json_min.Parse_error msg -> Error ("malformed response: " ^ msg)
+  | raw -> (
+      let str k = Option.bind (Json_min.member k raw) Json_min.to_string in
+      let reply_id = Json_min.member "id" raw in
+      match str "status" with
+      | Some "ok" ->
+          Ok
+            {
+              reply_id; ok = true; code = 0; origin = str "origin";
+              payload = str "payload"; error = None; raw;
+            }
+      | Some "error" ->
+          let code =
+            match Option.bind (Json_min.member "code" raw) Json_min.to_float with
+            | Some f -> int_of_float f
+            | None -> 1
+          in
+          Ok
+            {
+              reply_id; ok = false; code; origin = str "origin";
+              payload = str "payload"; error = str "error"; raw;
+            }
+      | Some _ | None -> Error "response missing \"status\"")

@@ -1,0 +1,115 @@
+(** The wire protocol of the encode daemon: newline-delimited JSON over
+    a Unix-domain socket, one request object per line, one response
+    object per line, read and written with {!Json_min}.
+
+    {b Grammar} (one line each, [\n]-terminated):
+
+    {v
+request  := { "verb": VERB, "id"?: ID, ...verb fields }
+VERB     := "ping" | "stats" | "shutdown" | "encode" | "report"
+ID       := any JSON value; echoed verbatim in the response
+
+encode   := verb fields: ("machine": NAME | "kiss2": TEXT ["name": NAME]),
+            "algorithm"?: ALGO (default "ihybrid"), "bits"?: INT,
+            "max_work"?: INT, "fallback"?: BOOL (default true),
+            "budget_ms"?: NUMBER
+report   := verb fields: ("machine": NAME | "kiss2": TEXT ["name": NAME]),
+            "budget_ms"?: NUMBER
+
+response := { "id"?: ID, "status": "ok" | "error",
+              "origin"?: "computed" | "cached" | "coalesced",
+              "payload"?: TEXT, "code"?: INT, "error"?: TEXT, ... }
+    v}
+
+    An ["ok"] response to [encode]/[report] carries in [payload] the
+    {e byte-exact} stdout of the corresponding one-shot
+    [nova encode]/[nova report] run. An ["error"] response carries the
+    {!Nova_error} rendering in [error] and its CLI exit code in [code]
+    (so a crashed job answers with code 7, exactly like the one-shot
+    exit). A [report] whose table contains error rows carries {e both}:
+    the payload {e and} the first non-cancelled error — mirroring the
+    one-shot CLI, which prints the table and then exits nonzero.
+
+    Malformed input never crashes the server: unparseable JSON, a
+    missing or unknown verb, bad field types, an oversized line — each
+    yields a typed ["error"] response (or, past {!max_line_bytes}, a
+    final error response followed by connection close). *)
+
+(** How a request names its machine: a built-in suite entry by name, or
+    inline KISS2 text (optionally named — defaults like the CLI to the
+    parser's default). *)
+type machine_ref = Builtin of string | Kiss2 of { name : string option; text : string }
+
+type encode_request = {
+  machine : machine_ref;
+  algorithm : Harness.Driver.algorithm;
+  bits : int option;
+  max_work : int option;
+  fallback : bool;
+  budget_ms : float option;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Encode of encode_request
+  | Report of { machine : machine_ref; budget_ms : float option }
+
+(** A parsed request line: the client's [id] (echoed verbatim) and the
+    typed request. *)
+type parsed = { id : Json_min.t option; request : request }
+
+(** Protocol identifier, carried by ping/stats responses. *)
+val proto : string
+
+(** Hard cap on one request line (bytes, newline included). A client
+    line that exceeds it is answered with a typed error and the
+    connection is closed — the stream cannot be resynchronized. *)
+val max_line_bytes : int
+
+(** [parse_request line] parses one request line. Malformed JSON maps to
+    [Nova_error.Parse_error]; structurally valid JSON with bad verb or
+    fields to [Nova_error.Invalid_request]. Never raises. *)
+val parse_request : string -> (parsed, Json_min.t option * Nova_error.t) result
+
+(** [ok_response ?id ?origin ?extra ~payload ()] is a rendered ["ok"]
+    response line (newline-terminated). *)
+val ok_response :
+  ?id:Json_min.t -> ?origin:string -> ?extra:(string * Json_min.t) list ->
+  payload:string -> unit -> string
+
+(** [error_response ?id ?payload err] is a rendered ["error"] response
+    line carrying [err]'s message and CLI exit code — with [payload]
+    when partial output exists (a report table with error rows). *)
+val error_response : ?id:Json_min.t -> ?payload:string -> Nova_error.t -> string
+
+(* --- client-side building and decoding --------------------------------- *)
+
+(** [encode_line ?id ?bits ?max_work ?fallback ?budget_ms ~algorithm
+    machine] is a rendered [encode] request line. [algorithm] is the
+    {!Harness.Driver.name} spelling. *)
+val encode_line :
+  ?id:Json_min.t -> ?bits:int -> ?max_work:int -> ?fallback:bool ->
+  ?budget_ms:float -> algorithm:string -> machine_ref -> string
+
+val report_line : ?id:Json_min.t -> ?budget_ms:float -> machine_ref -> string
+
+val verb_line : ?id:Json_min.t -> string -> string
+(** [verb_line "ping"] etc: a field-less request line. *)
+
+(** A decoded response. [code] is [0] for ["ok"]. *)
+type reply = {
+  reply_id : Json_min.t option;
+  ok : bool;
+  code : int;
+  origin : string option;
+  payload : string option;
+  error : string option;
+  raw : Json_min.t;
+}
+
+(** [parse_reply line] decodes one response line; [Error] is a malformed
+    line (not a well-formed ["error"] response, which is [Ok] with
+    [ok = false]). *)
+val parse_reply : string -> (reply, string) result

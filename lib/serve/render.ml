@@ -1,0 +1,74 @@
+let onehot_reference ~budget m =
+  let n = Fsm.num_states ~m in
+  if n <= 60 && not (Budget.exhausted budget) then begin
+    let onehot = Encoded.implement ~budget m (Encoding.one_hot n) in
+    Some (onehot.Encoded.num_cubes, onehot.Encoded.area)
+  end
+  else None
+
+let encode_text m (encoding : Encoding.t) ~num_cubes ~area ~onehot =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "machine %s: %d states encoded in %d bits\n" m.Fsm.name
+    (Fsm.num_states ~m) encoding.Encoding.nbits;
+  Array.iteri
+    (fun s name -> Printf.bprintf b "  %-12s %s\n" name (Encoding.code_string encoding s))
+    m.Fsm.states;
+  Printf.bprintf b "two-level implementation: %d product terms, PLA area %d\n" num_cubes area;
+  (match onehot with
+  | Some (cubes, a) -> Printf.bprintf b "(1-hot reference: %d product terms, area %d)\n" cubes a
+  | None -> ());
+  Buffer.contents b
+
+let row_cells (r : Exec.Job.row) =
+  match r.Exec.Job.result with
+  | Ok s ->
+      [
+        string_of_int s.Exec.Job.encoding.Encoding.nbits;
+        string_of_int s.Exec.Job.num_cubes;
+        string_of_int s.Exec.Job.area;
+        Harness.Driver.rung_name s.Exec.Job.produced_by;
+      ]
+  | Error _ -> [ "-"; "-"; "-"; "error" ]
+
+let report_table ~race ~num_machines rows =
+  let header =
+    [ "machine"; "algorithm"; "nbits"; "cubes"; "area"; "produced_by" ]
+    @ if race then [] else [ "best" ]
+  in
+  let best_areas =
+    List.fold_left
+      (fun acc (r : Exec.Job.row) ->
+        match r.Exec.Job.result with
+        | Ok s ->
+            let name = r.Exec.Job.task.Exec.Job.machine.Fsm.name in
+            let a = s.Exec.Job.area in
+            (match List.assoc_opt name acc with
+            | Some b when b <= a -> acc
+            | _ -> (name, a) :: List.remove_assoc name acc)
+        | Error _ -> acc)
+      [] rows
+  in
+  let table_rows =
+    List.map
+      (fun (r : Exec.Job.row) ->
+        let name = r.Exec.Job.task.Exec.Job.machine.Fsm.name in
+        let algo = Harness.Driver.name r.Exec.Job.task.Exec.Job.algorithm in
+        let best =
+          if race then []
+          else
+            match r.Exec.Job.result with
+            | Ok s when List.assoc_opt name best_areas = Some s.Exec.Job.area -> [ "*" ]
+            | _ -> [ "" ]
+        in
+        ([ name; algo ] @ row_cells r) @ best)
+      rows
+  in
+  let title =
+    if race then Printf.sprintf "portfolio race (%d machines)" num_machines
+    else
+      Printf.sprintf "portfolio report (%d machines x %d algorithms)" num_machines
+        (List.length Exec.Portfolio.default_algorithms)
+  in
+  Format.asprintf "%a"
+    (fun ppf () -> Harness.Report.print_table ppf ~title ~header table_rows)
+    ()

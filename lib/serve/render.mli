@@ -1,0 +1,26 @@
+(** The byte-exact stdout renderers shared by the one-shot CLI and the
+    daemon. [bin/nova_cli]'s [encode] and [report] subcommands print
+    exactly these strings; the daemon serves exactly these strings as
+    response payloads — so "a served payload equals the one-shot stdout"
+    is true by construction, and the CI determinism pin diffs the two
+    mechanically. *)
+
+(** [onehot_reference ~budget m] is the 1-hot comparison point the CLI
+    appends for small machines: [Some (num_cubes, area)] when
+    [num_states <= 60] and [budget] is not exhausted, computed under the
+    same [budget] (the one-shot semantics — the reference shares the
+    request's remaining budget). *)
+val onehot_reference : budget:Budget.t -> Fsm.t -> (int * int) option
+
+(** [encode_text m encoding ~num_cubes ~area ~onehot] is the complete
+    [nova encode] stdout: header, per-state code lines, two-level
+    implementation line, and the optional 1-hot reference line. *)
+val encode_text :
+  Fsm.t -> Encoding.t -> num_cubes:int -> area:int -> onehot:(int * int) option -> string
+
+(** [report_table ~race ~num_machines rows] is the complete
+    [nova report] stdout: the portfolio table (title, header, rows in
+    task order, best-area stars in non-racing mode) rendered through
+    {!Harness.Report.print_table}. [num_machines] feeds the title — the
+    row list may hold several machines' portfolios. *)
+val report_table : race:bool -> num_machines:int -> Exec.Job.row list -> string

@@ -1,0 +1,567 @@
+type config = {
+  socket_path : string;
+  jobs : int;
+  max_inflight : int;
+  cap_deadline_ms : float option;
+  cap_work : int option;
+  cache : Exec.Cache.t option;
+  quiet : bool;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path; jobs = 1; max_inflight = 1; cap_deadline_ms = None; cap_work = None;
+    cache = None; quiet = false;
+  }
+
+type stats = {
+  requests : int;
+  served : int;
+  errors : int;
+  coalesced : int;
+  computed : int;
+  cache_hits : int;
+  inflight_peak : int;
+}
+
+(* What one request resolves to, shared verbatim between coalesced
+   requesters: the rendered stdout payload (when any), the error that
+   sets the response code (when any — a report table with error rows
+   carries both), and where the result came from. *)
+type served = { payload : string option; err : Nova_error.t option; origin : string }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  stop : bool Atomic.t;
+  active : int Atomic.t;
+  c_requests : int Atomic.t;
+  c_served : int Atomic.t;
+  c_errors : int Atomic.t;
+  c_coalesced : int Atomic.t;
+  c_computed : int Atomic.t;
+  c_hits : int Atomic.t;
+  peak : int Atomic.t;
+  slots : Semaphore.Counting.t;
+  inflight : served Exec.Inflight.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  started : float;
+}
+
+(* Mirrored into Instrument (default-off, like every probe in the tree)
+   so the coalescing tests can assert "exactly one computation" through
+   the same counter fabric as the rest of the executor. *)
+let i_requests = Instrument.counter "serve.requests"
+let i_served = Instrument.counter "serve.served"
+let i_errors = Instrument.counter "serve.errors"
+let i_coalesced = Instrument.counter "serve.coalesced"
+let i_computed = Instrument.counter "serve.computed"
+let i_hits = Instrument.counter "serve.cache_hits"
+
+let snapshot t =
+  {
+    requests = Atomic.get t.c_requests;
+    served = Atomic.get t.c_served;
+    errors = Atomic.get t.c_errors;
+    coalesced = Atomic.get t.c_coalesced;
+    computed = Atomic.get t.c_computed;
+    cache_hits = Atomic.get t.c_hits;
+    inflight_peak = Atomic.get t.peak;
+  }
+
+let zero_stats =
+  {
+    requests = 0; served = 0; errors = 0; coalesced = 0; computed = 0; cache_hits = 0;
+    inflight_peak = 0;
+  }
+
+let current : t option ref = ref None
+let last = ref zero_stats
+let last_stats () = match !current with Some t -> snapshot t | None -> !last
+
+let resolve_machine = function
+  | Protocol.Builtin name -> (
+      match Benchmarks.Suite.find name with
+      | m -> Ok m
+      | exception Not_found ->
+          Error
+            (Nova_error.Invalid_request
+               (Printf.sprintf
+                  "no built-in machine called %S (send KISS2 text in \"kiss2\" instead)" name)))
+  | Protocol.Kiss2 { name; text } -> (
+      let name = Option.value name ~default:"request" in
+      match Kiss.parse_result ~name ~file:"<kiss2>" text with
+      | Ok m -> Ok m
+      | Error { Kiss.file; line; col; msg } ->
+          Error (Nova_error.Parse_error { file; line; col; msg }))
+
+let caps t = { Budget.cap_deadline_ms = t.cfg.cap_deadline_ms; cap_work = t.cfg.cap_work }
+
+(* One compute slot: [max_inflight] gates how many computations run at
+   once (coalesced followers never take one — they only wait). All
+   span-emitting work happens inside a slot, so with the default single
+   slot a traced session keeps one balanced span stack per track. The
+   admission budget is derived *after* the queue wait — it meters the
+   compute, not the line. *)
+let with_slot t f =
+  let t0 = Unix.gettimeofday () in
+  Semaphore.Counting.acquire t.slots;
+  let queue_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  if Trace.enabled () && queue_ms > 0.5 then
+    Trace.instant "serve.queue" ~attrs:[ ("queue_ms", Trace.Float queue_ms) ];
+  Fun.protect ~finally:(fun () -> Semaphore.Counting.release t.slots) (fun () -> f ())
+
+let origin_name = function
+  | Exec.Job.Computed -> "computed"
+  | Exec.Job.Cached -> "cached"
+  | Exec.Job.Cancelled_by_race -> "cancelled"
+
+let count_origin t (row : Exec.Job.row) =
+  match row.Exec.Job.origin with
+  | Exec.Job.Computed ->
+      Atomic.incr t.c_computed;
+      Instrument.bump i_computed
+  | Exec.Job.Cached ->
+      Atomic.incr t.c_hits;
+      Instrument.bump i_hits
+  | Exec.Job.Cancelled_by_race -> ()
+
+let render_encode m (s : Exec.Job.success) ~budget =
+  Render.encode_text m s.Exec.Job.encoding ~num_cubes:s.Exec.Job.num_cubes
+    ~area:s.Exec.Job.area
+    ~onehot:(Render.onehot_reference ~budget m)
+
+(* A plain request (no budget_ms / max_work ask) takes the full serving
+   path: coalescing table, cache read, store under the determinism
+   gate. A constrained request computes individually — its degradation
+   level depends on its asks, so sharing a computation (or a cached
+   full-quality entry whose fingerprint never saw the ask) would break
+   "byte-identical to the one-shot CLI with the same flags". *)
+let serve_encode t (req : Protocol.encode_request) =
+  match resolve_machine req.Protocol.machine with
+  | Error e -> { payload = None; err = Some e; origin = "request" }
+  | Ok m -> (
+      let task = Exec.Job.task ?bits:req.bits ~fallback:req.fallback m req.algorithm in
+      let leader ?cache () =
+        with_slot t @@ fun () ->
+        let budget =
+          Budget.derive ?deadline_ms:req.budget_ms ?max_work:req.max_work (caps t)
+        in
+        let row = Exec.Portfolio.run_task ?cache ~budget task in
+        count_origin t row;
+        match row.Exec.Job.result with
+        | Ok s ->
+            {
+              payload = Some (render_encode m s ~budget);
+              err = None;
+              origin = origin_name row.Exec.Job.origin;
+            }
+        | Error e -> { payload = None; err = Some e; origin = origin_name row.Exec.Job.origin }
+      in
+      let plain = req.budget_ms = None && req.max_work = None in
+      if not plain then leader ()
+      else
+        match
+          Exec.Inflight.run t.inflight ~key:(Exec.Job.key task) (fun () ->
+              leader ?cache:t.cfg.cache ())
+        with
+        | served, `Leader -> served
+        | served, `Coalesced ->
+            Atomic.incr t.c_coalesced;
+            Instrument.bump i_coalesced;
+            { served with origin = "coalesced" })
+
+let serve_report t ~budget_ms machine =
+  match resolve_machine machine with
+  | Error e -> { payload = None; err = Some e; origin = "request" }
+  | Ok m -> (
+      let tasks = Exec.Portfolio.tasks_for m in
+      let plain = budget_ms = None in
+      let unconstrained = plain && t.cfg.cap_deadline_ms = None && t.cfg.cap_work = None in
+      let leader ?cache () =
+        with_slot t @@ fun () ->
+        let rows =
+          if unconstrained then
+            (* No external budget anywhere: run the real portfolio pool
+               (rows are jobs-independent, so --jobs only buys time). *)
+            Exec.Portfolio.run ~jobs:t.cfg.jobs ?cache tasks
+          else
+            (* A budget tree is ticked by one domain: under a request
+               deadline the tasks run sequentially, sharing the request
+               budget — a per-request ceiling, not a per-task one. *)
+            let budget = Budget.derive ?deadline_ms:budget_ms (caps t) in
+            List.map (fun task -> Exec.Portfolio.run_task ?cache ~budget task) tasks
+        in
+        List.iter (count_origin t) rows;
+        let err =
+          List.find_map
+            (fun (r : Exec.Job.row) ->
+              match (r.Exec.Job.result, r.Exec.Job.origin) with
+              | Error _, Exec.Job.Cancelled_by_race -> None
+              | Error e, _ -> Some e
+              | Ok _, _ -> None)
+            rows
+        in
+        let origin =
+          if List.exists (fun (r : Exec.Job.row) -> r.Exec.Job.origin = Exec.Job.Computed) rows
+          then "computed"
+          else "cached"
+        in
+        { payload = Some (Render.report_table ~race:false ~num_machines:1 rows); err; origin }
+      in
+      if not plain then leader ()
+      else
+        let key =
+          Digest.to_hex
+            (Digest.string (String.concat "\x00" ("report" :: List.map Exec.Job.key tasks)))
+        in
+        match
+          Exec.Inflight.run t.inflight ~key (fun () -> leader ?cache:t.cfg.cache ())
+        with
+        | served, `Leader -> served
+        | served, `Coalesced ->
+            Atomic.incr t.c_coalesced;
+            Instrument.bump i_coalesced;
+            { served with origin = "coalesced" })
+
+let stats_response t ~id =
+  let s = snapshot t in
+  let num n = Json_min.Num (float_of_int n) in
+  let cache_fields, cache_line =
+    match t.cfg.cache with
+    | None -> ([], "cache: off")
+    | Some c ->
+        let cs = Exec.Cache.stats c in
+        ( [
+            ("cache_hits", num s.cache_hits); ("cache_misses", num cs.Exec.Cache.misses);
+            ("cache_stores", num cs.Exec.Cache.stores);
+            ("cache_rejected", num cs.Exec.Cache.rejected);
+          ],
+          Printf.sprintf "cache: %d hits, %d misses, %d stores, %d rejected (%s)"
+            cs.Exec.Cache.hits cs.Exec.Cache.misses cs.Exec.Cache.stores
+            cs.Exec.Cache.rejected (Exec.Cache.dir c) )
+  in
+  let payload =
+    Printf.sprintf
+      "serve stats: %d requests, %d served, %d errors\n\
+       coalesced %d, computed %d, cache hits %d, peak in-flight %d\n\
+       %s\n"
+      s.requests s.served s.errors s.coalesced s.computed s.cache_hits s.inflight_peak
+      cache_line
+  in
+  Protocol.ok_response ?id
+    ~extra:
+      ([
+         ("proto", Json_min.Str Protocol.proto);
+         ("requests", num s.requests); ("served", num s.served); ("errors", num s.errors);
+         ("coalesced", num s.coalesced); ("computed", num s.computed);
+         ("inflight_peak", num s.inflight_peak);
+         ("uptime_s", Json_min.Num (Unix.gettimeofday () -. t.started));
+       ]
+      @ cache_fields)
+    ~payload ()
+
+let respond_served t ~id (s : served) =
+  match s.err with
+  | None ->
+      Atomic.incr t.c_served;
+      Instrument.bump i_served;
+      Protocol.ok_response ?id ~origin:s.origin
+        ~payload:(Option.value s.payload ~default:"")
+        ()
+  | Some e ->
+      Atomic.incr t.c_errors;
+      Instrument.bump i_errors;
+      Protocol.error_response ?id ?payload:s.payload e
+
+(* One request line in, one response line out. Anything non-fatal the
+   dispatch raises — the serve chaos site included — becomes a typed
+   Job_crashed response (the daemon's exit-7 equivalent); fatal
+   exceptions are never absorbed. *)
+let handle_line t line =
+  Atomic.incr t.c_requests;
+  Instrument.bump i_requests;
+  let t0 = Unix.gettimeofday () in
+  let verb_of = function
+    | Protocol.Ping -> "ping"
+    | Protocol.Stats -> "stats"
+    | Protocol.Shutdown -> "shutdown"
+    | Protocol.Encode _ -> "encode"
+    | Protocol.Report _ -> "report"
+  in
+  let response, verb =
+    match Protocol.parse_request line with
+    | Error (id, e) ->
+        Atomic.incr t.c_errors;
+        Instrument.bump i_errors;
+        (Protocol.error_response ?id e, "invalid")
+    | Ok { Protocol.id; request } -> (
+        let verb = verb_of request in
+        try
+          Exec.Chaos.maybe_raise Exec.Chaos.Serve;
+          match request with
+          | Protocol.Ping ->
+              Atomic.incr t.c_served;
+              Instrument.bump i_served;
+              ( Protocol.ok_response ?id
+                  ~extra:[ ("proto", Json_min.Str Protocol.proto) ]
+                  ~payload:"pong" (),
+                verb )
+          | Protocol.Stats ->
+              Atomic.incr t.c_served;
+              Instrument.bump i_served;
+              (stats_response t ~id, verb)
+          | Protocol.Shutdown ->
+              Atomic.set t.stop true;
+              Atomic.incr t.c_served;
+              Instrument.bump i_served;
+              (Protocol.ok_response ?id ~payload:"shutting down" (), verb)
+          | Protocol.Encode req -> (respond_served t ~id (serve_encode t req), verb)
+          | Protocol.Report { machine; budget_ms } ->
+              (respond_served t ~id (serve_report t ~budget_ms machine), verb)
+        with
+        | (Out_of_memory | Stack_overflow | Sys.Break) as e -> raise e
+        | e ->
+            Atomic.incr t.c_errors;
+            Instrument.bump i_errors;
+            ( Protocol.error_response ?id
+                (Nova_error.Job_crashed
+                   { job = "serve:" ^ verb; attempts = 1; detail = Printexc.to_string e }),
+              verb ))
+  in
+  if Trace.enabled () then
+    Trace.instant "serve.request"
+      ~attrs:
+        [
+          ("verb", Trace.String verb);
+          ("wall_ms", Trace.Float ((Unix.gettimeofday () -. t0) *. 1000.));
+        ];
+  response
+
+(* --- connection plumbing ------------------------------------------------ *)
+
+let send_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write fd b off len in
+      go (off + n) (len - n)
+    end
+  in
+  go 0 (Bytes.length b)
+
+(* Buffered line reader. [None] is end-of-stream: EOF, a connection
+   error, or an oversized line ([overflow] distinguishes the last — the
+   stream cannot be resynchronized past a line with no newline in
+   sight, so the caller answers once and closes). *)
+let read_line fd buf chunk overflow =
+  let rec go () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    (* An oversized line is oversized whether or not its newline ever
+       arrived — the cap is on the line, not on the wait. *)
+    | Some i when i > Protocol.max_line_bytes ->
+        overflow := true;
+        None
+    | Some i ->
+        Buffer.clear buf;
+        Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+        Some (String.sub s 0 i)
+    | None -> (
+        if Buffer.length buf > Protocol.max_line_bytes then begin
+          overflow := true;
+          None
+        end
+        else
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (_, _, _) -> None)
+  in
+  go ()
+
+let bump_peak t =
+  let a = Atomic.get t.active in
+  let rec go () =
+    let p = Atomic.get t.peak in
+    if a > p && not (Atomic.compare_and_set t.peak p a) then go ()
+  in
+  go ()
+
+let handle_conn t fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let overflow = ref false in
+  let rec loop () =
+    if not (Atomic.get t.stop) then
+      match read_line fd buf chunk overflow with
+      | None ->
+          if !overflow then begin
+            Atomic.incr t.c_errors;
+            Instrument.bump i_errors;
+            try
+              send_all fd
+                (Protocol.error_response
+                   (Nova_error.Invalid_request
+                      (Printf.sprintf "request line exceeds %d bytes" Protocol.max_line_bytes)))
+            with Unix.Unix_error (_, _, _) | Sys_error _ -> ()
+          end
+      | Some line ->
+          (* [active] covers handling *and* the response write, so the
+             shutdown drain never closes a socket under a reply. *)
+          Atomic.incr t.active;
+          bump_peak t;
+          Fun.protect
+            ~finally:(fun () -> Atomic.decr t.active)
+            (fun () ->
+              let response = handle_line t line in
+              (* A client that disconnected mid-request gets nothing;
+                 its work still settled (and cached/coalesced). *)
+              try send_all fd response
+              with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+          loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.conns_mutex;
+      Hashtbl.remove t.conns fd;
+      Mutex.unlock t.conns_mutex;
+      try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    loop
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stop) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+              Mutex.lock t.conns_mutex;
+              Hashtbl.replace t.conns fd ();
+              Mutex.unlock t.conns_mutex;
+              ignore (Thread.create (fun () -> handle_conn t fd) ())
+          | exception Unix.Unix_error (_, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* Bind, refusing to evict a live server: if something answers on the
+   path it stays; a socket file nothing listens on (a crashed daemon's
+   leftover) is replaced. *)
+let bind_socket path =
+  let stale_removed =
+    if Sys.file_exists path then begin
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> true
+        | exception Unix.Unix_error (_, _, _) -> false
+      in
+      (try Unix.close probe with Unix.Unix_error (_, _, _) -> ());
+      if live then Error ()
+      else begin
+        (try Sys.remove path with Sys_error _ -> ());
+        Ok ()
+      end
+    end
+    else Ok ()
+  in
+  match stale_removed with
+  | Error () ->
+      Error
+        (Nova_error.Invalid_request
+           (Printf.sprintf "another server is already listening on %s" path))
+  | Ok () -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64
+      with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+          Error
+            (Nova_error.Invalid_request
+               (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e))))
+
+let with_signals t f =
+  let install s h = try Some (Sys.signal s h) with Invalid_argument _ | Sys_error _ -> None in
+  let on_signal = Sys.Signal_handle (fun _ -> Atomic.set t.stop true) in
+  let old_int = install Sys.sigint on_signal in
+  let old_term = install Sys.sigterm on_signal in
+  let old_pipe = install Sys.sigpipe Sys.Signal_ignore in
+  let restore s old = match old with Some h -> ignore (install s h) | None -> () in
+  Fun.protect
+    ~finally:(fun () ->
+      restore Sys.sigint old_int;
+      restore Sys.sigterm old_term;
+      restore Sys.sigpipe old_pipe)
+    f
+
+let drain_timeout_s = 10.
+
+let run cfg =
+  match bind_socket cfg.socket_path with
+  | Error e -> Error e
+  | Ok listen_fd ->
+      let t =
+        {
+          cfg; listen_fd; stop = Atomic.make false; active = Atomic.make 0;
+          c_requests = Atomic.make 0; c_served = Atomic.make 0; c_errors = Atomic.make 0;
+          c_coalesced = Atomic.make 0; c_computed = Atomic.make 0; c_hits = Atomic.make 0;
+          peak = Atomic.make 0;
+          slots = Semaphore.Counting.make (max 1 cfg.max_inflight);
+          inflight = Exec.Inflight.create ();
+          conns = Hashtbl.create 16;
+          conns_mutex = Mutex.create ();
+          started = Unix.gettimeofday ();
+        }
+      in
+      current := Some t;
+      if not cfg.quiet then
+        Printf.eprintf "serve: listening on %s (%d slot%s%s)\n%!" cfg.socket_path
+          (max 1 cfg.max_inflight)
+          (if cfg.max_inflight = 1 then "" else "s")
+          (match cfg.cache with
+          | Some c -> ", cache " ^ Exec.Cache.dir c
+          | None -> ", no cache");
+      with_signals t (fun () ->
+          accept_loop t;
+          (* Drain: let in-flight requests finish writing, bounded so a
+             wedged request cannot hold shutdown hostage. *)
+          let deadline = Unix.gettimeofday () +. drain_timeout_s in
+          while Atomic.get t.active > 0 && Unix.gettimeofday () < deadline do
+            Thread.delay 0.01
+          done;
+          (* Unblock handler threads parked in read; they observe EOF
+             and close their fds themselves. *)
+          Mutex.lock t.conns_mutex;
+          Hashtbl.iter
+            (fun fd () ->
+              try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
+            t.conns;
+          Mutex.unlock t.conns_mutex;
+          Thread.delay 0.05;
+          (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+          (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+          let swept =
+            match cfg.cache with None -> 0 | Some c -> Exec.Cache.sweep_own_tmp c
+          in
+          let s = snapshot t in
+          last := s;
+          current := None;
+          if not cfg.quiet then
+            Printf.eprintf
+              "serve: shutdown after %d requests (%d served, %d errors, %d coalesced, peak \
+               in-flight %d%s)\n\
+               %!"
+              s.requests s.served s.errors s.coalesced s.inflight_peak
+              (if swept > 0 then Printf.sprintf ", %d stale tmp swept" swept else "");
+          Ok ())

@@ -16,6 +16,13 @@ exception Parse_error of string
 val of_string : string -> t
 val of_file : string -> t
 
+(** [render v] is [v] as compact one-line JSON (no newlines: control
+    characters in strings are escaped), suitable for newline-delimited
+    protocols. [of_string (render v) = v] for any [v] whose numbers are
+    finite; non-finite floats render as [null]. Integral floats render
+    without a decimal point. *)
+val render : t -> string
+
 val member : string -> t -> t option
 val to_string : t -> string option
 val to_float : t -> float option

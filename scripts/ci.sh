@@ -163,6 +163,69 @@ rc=0; $NOVA bench-diff "$TMP/BENCH_scaling.json" "$TMP/BENCH_scaling_regressed.j
 [ "$rc" -eq 1 ] || { echo "injected exponent bump: expected exit 1, got $rc"; exit 1; }
 echo "  scaling: quick artifact valid, self-diff exit 0, exponent bump exit 1: ok"
 
+echo "== serve smoke: daemon round-trip, determinism, clean shutdown =="
+SOCK="$TMP/serve.sock"
+$NOVA serve --socket "$SOCK" --cache "$TMP/serve-cache" --quiet &
+SERVE_PID=$!
+up=0
+for _ in $(seq 1 100); do
+  if $NOVA client ping --socket "$SOCK" > /dev/null 2>&1; then up=1; break; fi
+  sleep 0.05
+done
+[ "$up" -eq 1 ] || { echo "serve daemon did not come up"; exit 1; }
+$NOVA client ping --socket "$SOCK" | grep -q pong \
+  || { echo "ping did not pong"; exit 1; }
+# The determinism pin: a served payload is the one-shot stdout, byte
+# for byte — cold (computed), then warm (certified cache hit).
+$NOVA client encode -a ihybrid dk16 --socket "$SOCK" > "$TMP/served-cold.txt"
+$NOVA encode -a ihybrid dk16 > "$TMP/encode-oneshot.txt" 2>/dev/null
+diff "$TMP/encode-oneshot.txt" "$TMP/served-cold.txt" \
+  || { echo "served payload differs from one-shot stdout"; exit 1; }
+$NOVA client encode -a ihybrid dk16 --socket "$SOCK" > "$TMP/served-warm.txt"
+diff "$TMP/encode-oneshot.txt" "$TMP/served-warm.txt" \
+  || { echo "warm served payload differs from one-shot stdout"; exit 1; }
+# A concurrent identical pair on a fresh key: identical bytes whether
+# the second request coalesced onto the first or hit the fresh cache
+# entry (the alcotest suite pins the coalescing counters).
+$NOVA client encode -a igreedy dk16 --socket "$SOCK" > "$TMP/served-co1.txt" &
+CO_PID=$!
+$NOVA client encode -a igreedy dk16 --socket "$SOCK" > "$TMP/served-co2.txt"
+wait $CO_PID || { echo "concurrent client exited nonzero"; exit 1; }
+diff "$TMP/served-co1.txt" "$TMP/served-co2.txt" \
+  || { echo "concurrent identical requests served different bytes"; exit 1; }
+# A bad request answers typed (exit 5 through the client) and leaves
+# the daemon fully alive.
+rc=0; $NOVA client encode -a ihybrid no-such-machine --socket "$SOCK" \
+  > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 5 ] || { echo "bad request: expected exit 5, got $rc"; exit 1; }
+$NOVA client stats --socket "$SOCK" | grep -q "serve stats:" \
+  || { echo "stats verb failed"; exit 1; }
+$NOVA client shutdown --socket "$SOCK" | grep -q "shutting down" \
+  || { echo "shutdown verb failed"; exit 1; }
+wait $SERVE_PID || { echo "daemon exited nonzero"; exit 1; }
+[ ! -e "$SOCK" ] || { echo "socket file not removed at shutdown"; exit 1; }
+echo "  ping, cold/warm/pair determinism, typed error, clean shutdown: ok"
+
+echo "== serve bench gates: warm and coalesced >= 5x better than cold =="
+$NOVA bench serve -o "$TMP/BENCH_serve.json" > /dev/null 2>&1
+grep -q '"schema":"nova-bench-serve/v1"' "$TMP/BENCH_serve.json" \
+  || { echo "serve artifact missing schema"; exit 1; }
+grep -q '"warm_origin":"cached"' "$TMP/BENCH_serve.json" \
+  || { echo "warm tier missed the cache"; exit 1; }
+$NOVA bench-diff BENCH_serve.json BENCH_serve.json > /dev/null \
+  || { echo "serve self-diff reported a regression"; exit 1; }
+# Pseudo-baseline gate (the par<=seq pattern): set both fast tiers to
+# cold/5; bench-diff then fails iff a measured tier is slower than
+# that — i.e. less than 5x better than this run's own cold tier.
+cold=$(sed 's/.*"cold_wall_s":\([0-9.eE+-]*\).*/\1/' "$TMP/BENCH_serve.json")
+tier_gate=$(awk "BEGIN{printf \"%.6f\", $cold / 5}")
+sed "s/\"warm_wall_s\":[0-9.eE+-]*/\"warm_wall_s\":$tier_gate/; \
+     s/\"coalesced_wall_s\":[0-9.eE+-]*/\"coalesced_wall_s\":$tier_gate/" \
+  "$TMP/BENCH_serve.json" > "$TMP/BENCH_serve_gate.json"
+$NOVA bench-diff "$TMP/BENCH_serve_gate.json" "$TMP/BENCH_serve.json" > /dev/null \
+  || { echo "warm/coalesced tier less than 5x better than cold"; exit 1; }
+echo "  nova-bench-serve/v1 valid, self-diff clean, 5x tier gates: ok"
+
 # Bench smokes run inside $TMP: they write BENCH_*.json into the
 # current directory, and the repo root holds the committed full-mode
 # artifacts, which a quick run must not clobber.

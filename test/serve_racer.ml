@@ -1,0 +1,57 @@
+(* Helper process for the two-process serve test: run a second encode
+   daemon against a shared cache directory while the test binary runs
+   its own. OCaml 5 forbids [Unix.fork] once domains exist, and the
+   test binary's pool suites spawn domains before the serve suite runs
+   — so the second daemon lives in a real executable, like
+   cache_racer.exe before it.
+
+   Usage: serve_racer.exe SOCKET CACHE_DIR MACHINE
+   Prints the MD5 of the served encode payload; exit 0 = clean. *)
+
+let () =
+  match Sys.argv with
+  | [| _; socket_path; cache_dir; machine |] -> (
+      Harness.Driver.quiet := true;
+      Exec.Supervise.quiet := true;
+      let config =
+        {
+          (Serve.Server.default_config ~socket_path) with
+          Serve.Server.cache = Some (Exec.Cache.open_dir cache_dir);
+          quiet = true;
+        }
+      in
+      let result = ref (Error (Nova_error.Invalid_request "server never ran")) in
+      let th = Thread.create (fun () -> result := Serve.Server.run config) () in
+      let rec await n =
+        if n = 0 then exit 3
+        else
+          match Serve.Client.connect socket_path with
+          | Error _ ->
+              Thread.delay 0.02;
+              await (n - 1)
+          | Ok c -> (
+              match Serve.Client.request c (Serve.Protocol.verb_line "ping") with
+              | Ok r when r.Serve.Protocol.ok -> Serve.Client.close c
+              | _ ->
+                  Serve.Client.close c;
+                  Thread.delay 0.02;
+                  await (n - 1))
+      in
+      await 250;
+      let c = match Serve.Client.connect socket_path with Ok c -> c | Error _ -> exit 4 in
+      let line =
+        Serve.Protocol.encode_line ~algorithm:"ihybrid" (Serve.Protocol.Builtin machine)
+      in
+      (match Serve.Client.request c line with
+      | Ok r when r.Serve.Protocol.ok ->
+          print_endline
+            (Digest.to_hex
+               (Digest.string (Option.value r.Serve.Protocol.payload ~default:"")))
+      | Ok _ | Error _ -> exit 5);
+      ignore (Serve.Client.request c (Serve.Protocol.verb_line "shutdown"));
+      Serve.Client.close c;
+      Thread.join th;
+      match !result with Ok () -> exit 0 | Error _ -> exit 6)
+  | _ ->
+      prerr_endline "usage: serve_racer.exe SOCKET CACHE_DIR MACHINE";
+      exit 2

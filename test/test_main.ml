@@ -37,4 +37,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("trace", Test_trace.suite);
       ("scaling", Test_scaling.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -681,9 +681,9 @@ let bench_serve_cmd =
       Sys.remove cache_dir;
       let cfg =
         {
-          Serve.Server.socket_path = socket; jobs = 1; max_inflight = 1;
-          cap_deadline_ms = None; cap_work = None;
-          cache = Some (Exec.Cache.open_dir cache_dir); quiet = true;
+          (Serve.Server.default_config ~socket_path:socket) with
+          Serve.Server.cache = Some (Exec.Cache.open_dir cache_dir);
+          quiet = true;
         }
       in
       let server = Thread.create (fun () -> ignore (Serve.Server.run cfg)) () in
@@ -728,6 +728,24 @@ let bench_serve_cmd =
         let cold_line = Serve.Protocol.encode_line ~algorithm:"ihybrid" mref in
         let _, cold_s = timed (fun () -> must (request cold_line)) in
         let warm, warm_s = timed (fun () -> must (request cold_line)) in
+        (* Metered vs bare: the same warm (cache-hit) request hammered
+           with the metrics registry on, then off. The daemon runs
+           in-process on a thread, so [Metrics.Registry.set_enabled]
+           reaches its hot paths directly; the ratio is what CI gates
+           metrics overhead on. *)
+        let warm_reps = 24 in
+        let hammer () =
+          for _ = 1 to warm_reps do
+            ignore (must (request cold_line))
+          done
+        in
+        let _, metered_wall_s = timed hammer in
+        Metrics.Registry.set_enabled false;
+        let _, bare_wall_s = timed hammer in
+        Metrics.Registry.set_enabled true;
+        let metrics_overhead =
+          if bare_wall_s > 0. then metered_wall_s /. bare_wall_s else 1.
+        in
         (* Coalesced tier: the very same machine and algorithm as the
            cold tier, but against a second, cache-less daemon — the key
            is fresh there, so one leader recomputes the cold work while
@@ -768,16 +786,18 @@ let bench_serve_cmd =
         Thread.join server;
         let oc = open_out out in
         Printf.fprintf oc
-          "{\"schema\":\"nova-bench-serve/v1\",\"mode\":\"default\",\"runs\":[{\"name\":\"%s\",\"mode\":\"encode\",\"algorithm\":\"ihybrid\",\"cold_wall_s\":%.6f,\"warm_wall_s\":%.6f,\"warm_origin\":\"%s\",\"coalesced_wall_s\":%.6f,\"rps\":%.2f,\"clients\":%d,\"coalesced\":%d}]}\n"
+          "{\"schema\":\"nova-bench-serve/v1\",\"mode\":\"default\",\"runs\":[{\"name\":\"%s\",\"mode\":\"encode\",\"algorithm\":\"ihybrid\",\"cold_wall_s\":%.6f,\"warm_wall_s\":%.6f,\"warm_origin\":\"%s\",\"coalesced_wall_s\":%.6f,\"rps\":%.2f,\"clients\":%d,\"coalesced\":%d,\"metered_wall_s\":%.6f,\"bare_wall_s\":%.6f,\"metrics_overhead\":%.4f}]}\n"
           machine cold_s warm_s
           (Option.value warm.Serve.Protocol.origin ~default:"?")
-          coalesced_s rps clients coalesced_n;
+          coalesced_s rps clients coalesced_n metered_wall_s bare_wall_s
+          metrics_overhead;
         close_out oc;
         Printf.printf
           "serve bench %s: cold %.4fs, warm %.4fs (%.1fx), coalesced %.4fs/req over %d \
-           clients (%.1fx, %d shared), %.1f req/s\n"
+           clients (%.1fx, %d shared), %.1f req/s, metrics overhead %.2fx over %d warm \
+           requests\n"
           machine cold_s warm_s (cold_s /. warm_s) coalesced_s clients
-          (cold_s /. coalesced_s) coalesced_n rps;
+          (cold_s /. coalesced_s) coalesced_n rps metrics_overhead warm_reps;
         Printf.eprintf "wrote %s\n" out;
         0
         end
@@ -924,8 +944,30 @@ let serve_cmd =
     let doc = "Admission ceiling on the work budget of a single request's compute." in
     Arg.(value & opt (some int) None & info [ "request-max-work" ] ~docv:"N" ~doc)
   in
+  let access_log_arg =
+    let doc =
+      "Append one JSON line per request to $(docv): id, verb, machine, algorithm, serving \
+       tier, wall time, outcome/exit code and budget spend. Append-only; safe to tail."
+    in
+    Arg.(value & opt (some string) None & info [ "access-log" ] ~docv:"FILE" ~doc)
+  in
+  let flight_record_arg =
+    let doc =
+      "Dump the flight recorder (the last $(b,--flight-capacity) request summaries) to \
+       $(docv) as JSON on crash, on shutdown, and on each $(b,flightrec) request — the \
+       forensic record a wedged daemon leaves behind."
+    in
+    Arg.(value & opt (some string) None & info [ "flight-record" ] ~docv:"FILE" ~doc)
+  in
+  let flight_capacity_arg =
+    let doc = "Flight-recorder ring size (last N request summaries)." in
+    Arg.(
+      value
+      & opt int Serve.Server.default_flight_capacity
+      & info [ "flight-capacity" ] ~docv:"N" ~doc)
+  in
   let run socket jobs max_inflight cap_ms cap_work cache_dir no_cache quiet trace chaos
-      chaos_seed =
+      chaos_seed access_log flight_record flight_capacity =
     if quiet then begin
       Harness.Driver.quiet := true;
       Exec.Supervise.quiet := true
@@ -952,6 +994,7 @@ let serve_cmd =
           {
             Serve.Server.socket_path = socket; jobs; max_inflight;
             cap_deadline_ms = cap_ms; cap_work; cache; quiet;
+            access_log; flight_record; flight_capacity;
           }
         in
         match Serve.Server.run cfg with Ok () -> 0 | Error e -> fail_with e)
@@ -967,7 +1010,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ jobs_arg $ max_inflight_arg $ request_budget_ms_arg
       $ request_max_work_arg $ cache_dir_arg $ no_cache_arg $ quiet_arg $ trace_arg
-      $ chaos_arg $ chaos_seed_arg)
+      $ chaos_arg $ chaos_seed_arg $ access_log_arg $ flight_record_arg $ flight_capacity_arg)
 
 (* --- client ---------------------------------------------------------------- *)
 
@@ -1050,13 +1093,125 @@ let client_cmd =
             payload and exit code to one-shot $(b,nova report MACHINE)).")
       Term.(const run $ socket_arg $ budget_ms_arg $ machine_arg)
   in
+  let watch_cmd =
+    let run socket interval_ms count =
+      if interval_ms <= 0 then
+        fail_with (Nova_error.Invalid_request "client watch: --interval must be positive")
+      else begin
+        (* Counter deltas are against the previous tick, keyed by the
+           rendered series (name plus sorted labels). *)
+        let prev : (string, float) Hashtbl.t = Hashtbl.create 64 in
+        let num field o = Option.bind (Json_min.member field o) Json_min.to_float in
+        let str field o = Option.bind (Json_min.member field o) Json_min.to_string in
+        let series_key o =
+          let name = Option.value (str "name" o) ~default:"?" in
+          match Json_min.member "labels" o with
+          | Some (Json_min.Obj ((_ :: _) as kvs)) ->
+              let pair (k, v) =
+                Printf.sprintf "%s=%S" k (Option.value (Json_min.to_string v) ~default:"?")
+              in
+              Printf.sprintf "%s{%s}" name (String.concat "," (List.map pair kvs))
+          | _ -> name
+        in
+        let rows field doc =
+          Option.value (Option.bind (Json_min.member field doc) Json_min.to_list) ~default:[]
+        in
+        let print_counter row =
+          let key = series_key row in
+          let v = Option.value (num "value" row) ~default:0. in
+          let delta =
+            match Hashtbl.find_opt prev key with
+            | Some p when v > p -> Printf.sprintf "  (+%g)" (v -. p)
+            | _ -> ""
+          in
+          Hashtbl.replace prev key v;
+          Printf.printf "  %-60s %10g%s\n" key v delta
+        in
+        let print_gauge row =
+          Printf.printf "  %-60s %10g\n" (series_key row)
+            (Option.value (num "value" row) ~default:0.)
+        in
+        let print_histogram row =
+          Printf.printf "  %-60s n=%g p50=%.4gs p90=%.4gs p99=%.4gs\n" (series_key row)
+            (Option.value (num "count" row) ~default:0.)
+            (Option.value (num "p50" row) ~default:0.)
+            (Option.value (num "p90" row) ~default:0.)
+            (Option.value (num "p99" row) ~default:0.)
+        in
+        let tick n =
+          match Serve.Client.connect socket with
+          | Error m -> Error m
+          | Ok c -> (
+              Fun.protect
+                ~finally:(fun () -> Serve.Client.close c)
+                (fun () -> Serve.Client.request c (Serve.Protocol.verb_line "metrics"))
+              |> function
+              | Error m -> Error m
+              | Ok r when not r.Serve.Protocol.ok ->
+                  Error (Option.value r.Serve.Protocol.error ~default:"server error")
+              | Ok r ->
+                  let doc =
+                    Option.value
+                      (Json_min.member "metrics" r.Serve.Protocol.raw)
+                      ~default:(Json_min.Obj [])
+                  in
+                  let tm = Unix.localtime (Unix.gettimeofday ()) in
+                  Printf.printf "--- %02d:%02d:%02d tick %d ---\n" tm.Unix.tm_hour
+                    tm.Unix.tm_min tm.Unix.tm_sec n;
+                  let section title render =
+                    match rows title doc with
+                    | [] -> ()
+                    | l ->
+                        Printf.printf "%s:\n" title;
+                        List.iter render l
+                  in
+                  section "counters" print_counter;
+                  section "gauges" print_gauge;
+                  section "histograms" print_histogram;
+                  flush stdout;
+                  Ok ())
+        in
+        let rec go n =
+          match tick n with
+          | Error m -> fail_with (Nova_error.Invalid_request ("client watch: " ^ m))
+          | Ok () ->
+              if count > 0 && n >= count then 0
+              else begin
+                Thread.delay (float_of_int interval_ms /. 1000.);
+                go (n + 1)
+              end
+        in
+        go 1
+      end
+    in
+    let interval_arg =
+      let doc = "Polling interval in milliseconds." in
+      Arg.(value & opt int 1000 & info [ "interval" ] ~docv:"MS" ~doc)
+    in
+    let count_arg =
+      let doc = "Stop after N polls (0 = poll until interrupted)." in
+      Arg.(value & opt int 0 & info [ "n"; "count" ] ~docv:"N" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "watch"
+         ~doc:
+           "Poll the daemon's metrics and render a live view (a minimal top for \
+            $(b,nova serve)): counters with per-tick deltas, gauges, and per-series \
+            p50/p90/p99 latency quantiles.")
+      Term.(const run $ socket_arg $ interval_arg $ count_arg)
+  in
   Cmd.group
     (Cmd.info "client" ~doc:"Talk to a running nova serve daemon.")
     [
       verb_cmd "ping" "Check the daemon is alive (prints pong).";
       verb_cmd "stats" "Print the daemon's served/coalesced/cache counters.";
+      verb_cmd "metrics"
+        "Print the daemon's Prometheus exposition (counters, gauges, latency summaries).";
+      verb_cmd "flightrec"
+        "Dump the daemon's flight recorder: the last N request summaries, as one JSON \
+         document.";
       verb_cmd "shutdown" "Ask the daemon to drain, clean up and exit.";
-      encode_cmd; report_cmd;
+      encode_cmd; report_cmd; watch_cmd;
     ]
 
 (* --- list ----------------------------------------------------------------- *)

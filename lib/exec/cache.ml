@@ -5,6 +5,27 @@ let c_rejected = Instrument.counter "exec.cache.rejected"
 let c_io_faults = Instrument.counter "exec.cache.io_faults"
 let t_certify = Instrument.timer "exec.cache.recertify"
 
+(* Production metrics mirror the Instrument counters (which are a
+   default-off debug fabric): one labeled family for the lifecycle
+   events, one for I/O faults, gauges for the latest fsck findings. *)
+let m_event event =
+  Metrics.Registry.counter ~help:"Cache lifecycle events by kind."
+    ~labels:[ ("event", event) ] "nova_cache_events_total"
+
+let m_hit = m_event "hit"
+let m_miss = m_event "miss"
+let m_store = m_event "store"
+let m_reject = m_event "reject"
+let m_io_faults = Metrics.Registry.counter ~help:"Cache I/O faults." "nova_cache_io_faults_total"
+
+let m_fsck name help =
+  Metrics.Registry.gauge ~help ("nova_cache_fsck_" ^ name)
+
+let m_fsck_scanned = m_fsck "scanned" "Entries scanned by the latest fsck."
+let m_fsck_valid = m_fsck "valid" "Entries found valid by the latest fsck."
+let m_fsck_removed = m_fsck "removed" "Corrupt entries removed by the latest fsck."
+let m_fsck_tmp_removed = m_fsck "tmp_removed" "Leftover temp files removed by the latest fsck."
+
 type t = {
   dir : string;
   hits : int Atomic.t;
@@ -235,11 +256,13 @@ let read_file path =
 let reject (c : t) path =
   Atomic.incr c.rejected;
   Instrument.bump c_rejected;
+  Metrics.Registry.inc m_reject;
   (try Sys.remove path with Sys_error _ -> ())
 
 let miss (c : t) task =
   Atomic.incr c.misses;
   Instrument.bump c_miss;
+  Metrics.Registry.inc m_miss;
   ev "miss" task;
   None
 
@@ -260,6 +283,7 @@ let find (c : t) (task : Job.task) =
     match Supervise.protect ~what:("cache read " ^ Filename.basename path) read with
     | Error _ ->
         Instrument.bump c_io_faults;
+        Metrics.Registry.inc m_io_faults;
         reject c path;
         ev "reject" task;
         miss c task
@@ -278,6 +302,7 @@ let find (c : t) (task : Job.task) =
             match Supervise.protect ~what:"recertify" (fun () -> recertify task s) with
             | Error _ ->
                 Instrument.bump c_io_faults;
+                Metrics.Registry.inc m_io_faults;
                 reject c path;
                 ev "reject" task;
                 miss c task
@@ -285,6 +310,7 @@ let find (c : t) (task : Job.task) =
                 if cert.Check.ok then begin
                   Atomic.incr c.hits;
                   Instrument.bump c_hit;
+                  Metrics.Registry.inc m_hit;
                   ev "hit" task;
                   Some s
                 end
@@ -316,6 +342,7 @@ let write_once path text =
   | exception e
     when not (match e with Out_of_memory | Stack_overflow | Sys.Break -> true | _ -> false) ->
       Instrument.bump c_io_faults;
+      Metrics.Registry.inc m_io_faults;
       (try Sys.remove tmp with Sys_error _ -> ());
       false
 
@@ -328,6 +355,7 @@ let store_certified (c : t) (task : Job.task) (s : Job.success) =
   if write_once path text || write_once path text then begin
     Atomic.incr c.stores;
     Instrument.bump c_store;
+    Metrics.Registry.inc m_store;
     ev "store" task
   end
 
@@ -342,6 +370,7 @@ let store (c : t) (task : Job.task) (s : Job.success) =
   | Ok _ -> ev "reject" task
   | Error _ ->
       Instrument.bump c_io_faults;
+      Metrics.Registry.inc m_io_faults;
       ev "reject" task
 
 (* --- fsck ---------------------------------------------------------------- *)
@@ -448,5 +477,15 @@ let fsck (c : t) =
     files;
   (* Count every structural removal as a rejection: fsck is the offline
      flavor of the read path's reject-and-recompute. *)
-  for _ = 1 to !removed do Atomic.incr c.rejected; Instrument.bump c_rejected done;
+  for _ = 1 to !removed do
+    Atomic.incr c.rejected;
+    Instrument.bump c_rejected;
+    Metrics.Registry.inc m_reject
+  done;
+  (* Gauges carry the latest sweep's findings (not cumulative): a scrape
+     after fsck reads the state of the directory as last verified. *)
+  Metrics.Registry.set_gauge m_fsck_scanned (float_of_int !scanned);
+  Metrics.Registry.set_gauge m_fsck_valid (float_of_int !valid);
+  Metrics.Registry.set_gauge m_fsck_removed (float_of_int !removed);
+  Metrics.Registry.set_gauge m_fsck_tmp_removed (float_of_int !tmp_removed);
   { scanned = !scanned; valid = !valid; removed = !removed; tmp_removed = !tmp_removed }

@@ -140,6 +140,10 @@ let fire_index site =
           (* The fires array is tiny (the schedule's count); linear scan. *)
           if Array.exists (( = ) i) p.fires then begin
             Instrument.bump c_injected;
+            Metrics.Registry.inc
+              (Metrics.Registry.counter ~help:"Injected chaos faults by site."
+                 ~labels:[ ("site", site_name site) ]
+                 "nova_chaos_injected_total");
             if Trace.enabled () then
               Trace.instant "chaos.inject"
                 ~attrs:[ ("site", Trace.String (site_name site)); ("index", Trace.Int i) ];

@@ -15,6 +15,10 @@ type 'a entry = { mutable outcome : 'a outcome; cond : Condition.t }
 
 type 'a t = { mutex : Mutex.t; table : (string, 'a entry) Hashtbl.t }
 
+let m_followers =
+  Metrics.Registry.counter ~help:"Calls coalesced onto another in-flight computation."
+    "nova_inflight_followers_total"
+
 let create () = { mutex = Mutex.create (); table = Hashtbl.create 32 }
 
 let locked t f =
@@ -35,6 +39,7 @@ let run t ~key f =
   in
   match role with
   | `Follow entry ->
+      Metrics.Registry.inc m_followers;
       (* Wait for the leader to settle the entry. The predicate re-check
          guards against spurious wakeups; the entry is settled exactly
          once, so a woken follower always finds a final outcome. *)

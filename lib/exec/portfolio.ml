@@ -35,6 +35,18 @@ let origin_name = function
   | Job.Cached -> "cached"
   | Job.Cancelled_by_race -> "cancelled"
 
+(* Every finished row counts into the metrics registry by origin and
+   outcome; job granularity, so the labeled-counter lookup is cheap
+   relative to the work it labels. *)
+let count_row (row : Job.row) =
+  Metrics.Registry.inc
+    (Metrics.Registry.counter ~help:"Portfolio jobs by origin and outcome."
+       ~labels:
+         [ ("origin", origin_name row.Job.origin);
+           ("outcome", match row.Job.result with Ok _ -> "ok" | Error _ -> "error") ]
+       "nova_portfolio_jobs_total");
+  row
+
 (* Sequential fallback: a domain pool on a machine without spare cores
    is pure overhead (domain spawn/join, cache-line contention) — the
    measured BENCH_parallel slowdown. When the runtime recommends no
@@ -101,7 +113,7 @@ let run_one ~policy ?cache ?budget (task : Job.task) =
   traced_job task @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let finish result origin =
-    { Job.task; result; origin; wall_s = Unix.gettimeofday () -. t0 }
+    count_row { Job.task; result; origin; wall_s = Unix.gettimeofday () -. t0 }
   in
   match Option.bind cache (fun c -> Cache.find c task) with
   | Some s -> finish (Ok s) Job.Cached
@@ -194,15 +206,16 @@ let race ?(jobs = 1) ?cache ?(policy = Supervise.default_policy) tasks =
       done
   in
   let cancelled_row (task : Job.task) t0 =
-    {
-      Job.task;
-      result =
-        Error
-          (Nova_error.Budget_exhausted
-             { stage = primary_stage task.Job.algorithm; reason = Budget.Cancelled });
-      origin = Job.Cancelled_by_race;
-      wall_s = Unix.gettimeofday () -. t0;
-    }
+    count_row
+      {
+        Job.task;
+        result =
+          Error
+            (Nova_error.Budget_exhausted
+               { stage = primary_stage task.Job.algorithm; reason = Budget.Cancelled });
+        origin = Job.Cancelled_by_race;
+        wall_s = Unix.gettimeofday () -. t0;
+      }
   in
   let run_racer i (task : Job.task) =
     traced_job task @@ fun () ->
@@ -215,7 +228,8 @@ let race ?(jobs = 1) ?cache ?(policy = Supervise.default_policy) tasks =
             won i task;
             cancel_losers ()
           end;
-          { Job.task; result = Ok s; origin = Job.Cached; wall_s = Unix.gettimeofday () -. t0 }
+          count_row
+            { Job.task; result = Ok s; origin = Job.Cached; wall_s = Unix.gettimeofday () -. t0 }
       | None ->
           let result = supervised_run policy ~budget:budgets.(i) task in
           let raced_out = Budget.reason budgets.(i) = Some Budget.Cancelled in
@@ -228,12 +242,13 @@ let race ?(jobs = 1) ?cache ?(policy = Supervise.default_policy) tasks =
           (match (cache, result) with
           | Some c, Ok s when not raced_out -> Cache.store c task s
           | _ -> ());
-          {
-            Job.task;
-            result;
-            origin = (if raced_out then Job.Cancelled_by_race else Job.Computed);
-            wall_s = Unix.gettimeofday () -. t0;
-          }
+          count_row
+            {
+              Job.task;
+              result;
+              origin = (if raced_out then Job.Cancelled_by_race else Job.Computed);
+              wall_s = Unix.gettimeofday () -. t0;
+            }
   in
   let slots = Pool.mapi_isolated ~jobs tasks ~f:run_racer in
   (* A pool-isolated racer crash restarts inline like [run]'s; its

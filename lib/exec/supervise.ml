@@ -25,6 +25,32 @@ let c_retries = Instrument.counter "exec.supervise.retries"
 let c_crashes = Instrument.counter "exec.supervise.crashes"
 let c_quarantined = Instrument.counter "exec.supervise.quarantine_skips"
 
+(* Production metrics: crash counts labeled by the site that crashed
+   ("job" for supervised runs, the first word of [protect]'s ~what for
+   infrastructure — "cache", "recertify" — keeping label cardinality
+   bounded), retry/skip totals, the backoff latency distribution, and
+   the quarantine occupancy gauge. *)
+let m_retries = Metrics.Registry.counter ~help:"Supervised retries." "nova_supervise_retries_total"
+
+let m_crashes site =
+  Metrics.Registry.counter ~help:"Non-fatal crashes caught by the supervisor, by site."
+    ~labels:[ ("site", site) ] "nova_supervise_crashes_total"
+
+let m_skips =
+  Metrics.Registry.counter ~help:"Jobs skipped because their (machine, algorithm) is quarantined."
+    "nova_quarantine_skips_total"
+
+let m_backoff =
+  Metrics.Registry.histogram ~help:"Retry backoff sleeps in seconds."
+    "nova_supervise_backoff_seconds"
+
+let m_occupancy =
+  Metrics.Registry.gauge ~help:"(machine, algorithm) pairs currently past the quarantine threshold."
+    "nova_quarantine_occupancy"
+
+let crash_site_of_what what =
+  match String.index_opt what ' ' with Some i -> String.sub what 0 i | None -> what
+
 type policy = {
   max_attempts : int;
   base_backoff_ms : float;
@@ -74,28 +100,71 @@ let describe_exn e bt =
 
 let quarantine_threshold = 2
 
-(* (machine, algorithm) -> exhausted crash cycles, last detail. The
-   registry is per-process state shared by every portfolio run (that is
-   the point: the second run of a known-crashing rung is the one that
-   gets skipped), guarded by a mutex for cross-domain use. *)
+(* (machine, algorithm) -> exhausted crash cycles, skip count, last
+   detail. The registry is per-process state shared by every portfolio
+   run (that is the point: the second run of a known-crashing rung is
+   the one that gets skipped), guarded by a mutex for cross-domain
+   use. *)
+type qentry = { cycles : int; skips : int; detail : string }
+
 let quarantine_lock = Mutex.create ()
-let quarantine_table : (string * string, int * string) Hashtbl.t = Hashtbl.create 16
+let quarantine_table : (string * string, qentry) Hashtbl.t = Hashtbl.create 16
+
+let occupancy_locked () =
+  Hashtbl.fold
+    (fun _ e n -> if e.cycles >= quarantine_threshold then n + 1 else n)
+    quarantine_table 0
 
 let reset_quarantine () =
-  Mutex.protect quarantine_lock (fun () -> Hashtbl.reset quarantine_table)
+  Mutex.protect quarantine_lock (fun () ->
+      Hashtbl.reset quarantine_table;
+      Metrics.Registry.set_gauge m_occupancy 0.)
 
 let record_crash_cycle ~machine ~algorithm detail =
   Mutex.protect quarantine_lock (fun () ->
       let key = (machine, algorithm) in
-      let n = match Hashtbl.find_opt quarantine_table key with Some (n, _) -> n | None -> 0 in
-      Hashtbl.replace quarantine_table key (n + 1, detail);
-      n + 1)
+      let prev =
+        match Hashtbl.find_opt quarantine_table key with
+        | Some e -> e
+        | None -> { cycles = 0; skips = 0; detail = "" }
+      in
+      Hashtbl.replace quarantine_table key { prev with cycles = prev.cycles + 1; detail };
+      Metrics.Registry.set_gauge m_occupancy (float_of_int (occupancy_locked ()));
+      prev.cycles + 1)
+
+let record_skip ~machine ~algorithm =
+  Mutex.protect quarantine_lock (fun () ->
+      let key = (machine, algorithm) in
+      match Hashtbl.find_opt quarantine_table key with
+      | Some e -> Hashtbl.replace quarantine_table key { e with skips = e.skips + 1 }
+      | None -> ())
 
 let quarantined ~machine ~algorithm =
   Mutex.protect quarantine_lock (fun () ->
       match Hashtbl.find_opt quarantine_table (machine, algorithm) with
-      | Some (n, detail) when n >= quarantine_threshold -> Some (n, detail)
+      | Some e when e.cycles >= quarantine_threshold -> Some (e.cycles, e.detail)
       | _ -> None)
+
+type quarantine_entry = {
+  q_machine : string;
+  q_algorithm : string;
+  q_cycles : int;
+  q_skips : int;
+  q_detail : string;
+}
+
+(* Every pair with recorded crash cycles, quarantined or not, sorted
+   for stable rendering in stats/metrics readouts. *)
+let quarantine_snapshot () =
+  Mutex.protect quarantine_lock (fun () ->
+      Hashtbl.fold
+        (fun (machine, algorithm) e acc ->
+          { q_machine = machine; q_algorithm = algorithm; q_cycles = e.cycles;
+            q_skips = e.skips; q_detail = e.detail }
+          :: acc)
+        quarantine_table []
+      |> List.sort (fun a b ->
+             compare (a.q_machine, a.q_algorithm) (b.q_machine, b.q_algorithm)))
 
 (* --- the supervised runner ----------------------------------------------- *)
 
@@ -133,6 +202,8 @@ let run policy ~machine ~algorithm f =
   match quarantined ~machine ~algorithm with
   | Some (crashes, detail) ->
       Instrument.bump c_quarantined;
+      Metrics.Registry.inc m_skips;
+      record_skip ~machine ~algorithm;
       quarantine_instant ~machine ~algorithm ~crashes detail;
       warn "%s quarantined after %d crashed runs (%s); skipping"
         (job_name ~machine ~algorithm) crashes detail;
@@ -150,9 +221,12 @@ let run policy ~machine ~algorithm f =
         | exception e when not (is_fatal e) ->
             let detail = describe_exn e (Printexc.get_backtrace ()) in
             Instrument.bump c_crashes;
+            Metrics.Registry.inc (m_crashes "job");
             if n < policy.max_attempts then begin
               let backoff = backoff_ms policy ~key:(machine ^ "/" ^ algorithm) ~attempt:n in
               Instrument.bump c_retries;
+              Metrics.Registry.inc m_retries;
+              Metrics.Registry.observe m_backoff (backoff /. 1000.);
               retry_instant ~machine ~algorithm ~attempt:n ~backoff detail;
               warn "%s crashed (attempt %d/%d): %s; retrying in %.1fms"
                 (job_name ~machine ~algorithm) n policy.max_attempts detail backoff;
@@ -180,4 +254,5 @@ let protect ~what f =
   | exception e when not (is_fatal e) ->
       let detail = describe_exn e (Printexc.get_backtrace ()) in
       Instrument.bump c_crashes;
+      Metrics.Registry.inc (m_crashes (crash_site_of_what what));
       Error (Printf.sprintf "%s: %s" what detail)

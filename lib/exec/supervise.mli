@@ -57,6 +57,24 @@ val quarantined : machine:string -> algorithm:string -> (int * string) option
     service would call this to re-admit quarantined rungs). *)
 val reset_quarantine : unit -> unit
 
+(** One quarantine-registry row: a (machine, algorithm) pair with its
+    exhausted crash cycles, how many jobs the quarantine has skipped,
+    and the last crash detail. A pair appears as soon as it has one
+    exhausted cycle — [q_cycles >= quarantine_threshold] is the
+    actually-quarantined predicate. *)
+type quarantine_entry = {
+  q_machine : string;
+  q_algorithm : string;
+  q_cycles : int;
+  q_skips : int;
+  q_detail : string;
+}
+
+(** The registry's current rows, sorted by (machine, algorithm) — the
+    runtime-visibility read-out used by the serve [stats]/[metrics]
+    verbs. *)
+val quarantine_snapshot : unit -> quarantine_entry list
+
 (** [run policy ~machine ~algorithm f] supervises one job: quarantine
     check, then [f] with retry/backoff on crashes. Returns [f]'s own
     result, or [Error (Job_crashed _)] after the attempt budget (or a

@@ -1,0 +1,243 @@
+let quantiles = [ 0.5; 0.9; 0.99 ]
+
+(* Exposition-format escapes: label values escape backslash, quote and
+   newline; HELP text escapes backslash and newline only (the grammar
+   difference the round-trip tests pin). *)
+let escape_with quote s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '"' when quote -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_label s = escape_with true s
+let escape_help s = escape_with false s
+
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* Labels arrive sorted from the registry; [extra] (the quantile pair)
+   renders last so the series name is stable and greppable. *)
+let render_labels ?extra labels =
+  let pairs =
+    List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels
+    @ match extra with None -> [] | Some (k, v) -> [ Printf.sprintf "%s=\"%s\"" k v ]
+  in
+  if pairs = [] then "" else "{" ^ String.concat "," pairs ^ "}"
+
+let add_header b (s : Registry.series) typ =
+  if s.s_help <> "" then
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" s.s_name (escape_help s.s_help));
+  Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" s.s_name typ)
+
+let prometheus () =
+  let snap = Registry.snapshot () in
+  let b = Buffer.create 4096 in
+  (* The snapshot is sorted by (name, labels): emit HELP/TYPE on the
+     first series of each family, samples for every series. *)
+  let emit typ entries sample =
+    let last = ref "" in
+    List.iter
+      (fun ((s : Registry.series), v) ->
+        if s.s_name <> !last then begin
+          add_header b s typ;
+          last := s.s_name
+        end;
+        sample s v)
+      entries
+  in
+  emit "counter" snap.Registry.counters (fun s v ->
+      Buffer.add_string b (Printf.sprintf "%s%s %d\n" s.s_name (render_labels s.s_labels) v));
+  emit "gauge" snap.Registry.gauges (fun s v ->
+      Buffer.add_string b
+        (Printf.sprintf "%s%s %s\n" s.s_name (render_labels s.s_labels) (fmt_float v)));
+  emit "summary" snap.Registry.histograms (fun s h ->
+      List.iter
+        (fun q ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %s\n" s.s_name
+               (render_labels ~extra:("quantile", fmt_float q) s.s_labels)
+               (fmt_float (Histogram.quantile h q))))
+        quantiles;
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum%s %s\n" s.s_name (render_labels s.s_labels)
+           (fmt_float (Histogram.sum h)));
+      Buffer.add_string b
+        (Printf.sprintf "%s_count%s %d\n" s.s_name (render_labels s.s_labels)
+           (Histogram.count h)));
+  Buffer.contents b
+
+let labels_obj labels = Json_min.Obj (List.map (fun (k, v) -> (k, Json_min.Str v)) labels)
+
+let json () =
+  let snap = Registry.snapshot () in
+  let series (s : Registry.series) rest =
+    Json_min.Obj (("name", Json_min.Str s.s_name) :: ("labels", labels_obj s.s_labels) :: rest)
+  in
+  Json_min.Obj
+    [
+      ( "counters",
+        Json_min.Arr
+          (List.map
+             (fun (s, v) -> series s [ ("value", Json_min.Num (float_of_int v)) ])
+             snap.Registry.counters) );
+      ( "gauges",
+        Json_min.Arr
+          (List.map (fun (s, v) -> series s [ ("value", Json_min.Num v) ]) snap.Registry.gauges)
+      );
+      ( "histograms",
+        Json_min.Arr
+          (List.map
+             (fun (s, h) ->
+               series s
+                 [
+                   ("count", Json_min.Num (float_of_int (Histogram.count h)));
+                   ("sum", Json_min.Num (Histogram.sum h));
+                   ("p50", Json_min.Num (Histogram.quantile h 0.5));
+                   ("p90", Json_min.Num (Histogram.quantile h 0.9));
+                   ("p99", Json_min.Num (Histogram.quantile h 0.99));
+                 ])
+             snap.Registry.histograms) );
+    ]
+
+(* ---- Linter -------------------------------------------------------- *)
+
+(* A hand-rolled check of the grammar [prometheus] emits, shared by the
+   unit tests and scripts/check_prom.exe. Deliberately stricter than a
+   scraper: unknown escapes, samples without a TYPE declaration, and
+   summaries missing _sum/_count are all errors. *)
+
+let is_name_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false
+let is_name_char = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false
+let is_label_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+let is_label_char = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+
+exception Bad of string
+
+let scan_name line pos label =
+  let n = String.length line in
+  if !pos >= n
+     || not ((if label then is_label_start else is_name_start) line.[!pos])
+  then raise (Bad (if label then "expected label name" else "expected metric name"));
+  let start = !pos in
+  while !pos < n && (if label then is_label_char else is_name_char) line.[!pos] do incr pos done;
+  String.sub line start (!pos - start)
+
+let scan_label_value line pos =
+  let n = String.length line in
+  if !pos >= n || line.[!pos] <> '"' then raise (Bad "expected opening quote");
+  incr pos;
+  let fin = ref false in
+  while not !fin do
+    if !pos >= n then raise (Bad "unterminated label value");
+    (match line.[!pos] with
+    | '"' -> fin := true
+    | '\\' ->
+        incr pos;
+        if !pos >= n then raise (Bad "dangling backslash");
+        (match line.[!pos] with
+        | '\\' | '"' | 'n' -> ()
+        | c -> raise (Bad (Printf.sprintf "illegal escape \\%c" c)))
+    | _ -> ());
+    incr pos
+  done
+
+let scan_sample line =
+  let pos = ref 0 in
+  let name = scan_name line pos false in
+  let n = String.length line in
+  if !pos < n && line.[!pos] = '{' then begin
+    incr pos;
+    let first = ref true in
+    while !pos < n && line.[!pos] <> '}' do
+      if not !first then
+        if line.[!pos] = ',' then incr pos else raise (Bad "expected ',' between labels");
+      first := false;
+      ignore (scan_name line pos true);
+      if !pos >= n || line.[!pos] <> '=' then raise (Bad "expected '=' after label name");
+      incr pos;
+      scan_label_value line pos
+    done;
+    if !pos >= n then raise (Bad "unterminated label set");
+    incr pos
+  end;
+  if !pos >= n || line.[!pos] <> ' ' then raise (Bad "expected space before value");
+  incr pos;
+  let value = String.sub line !pos (n - !pos) in
+  if value = "" || (match float_of_string_opt value with Some _ -> true | None -> false) = false
+  then raise (Bad (Printf.sprintf "bad sample value %S" value));
+  name
+
+let lint text =
+  let err line msg = Error (Printf.sprintf "%s: %S" msg line) in
+  if text = "" then Error "empty exposition"
+  else if text.[String.length text - 1] <> '\n' then Error "missing final newline"
+  else begin
+    let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+    let sampled : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    let lines = String.split_on_char '\n' (String.sub text 0 (String.length text - 1)) in
+    let check line =
+      if line = "" then Ok ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; typ ]
+          when List.mem typ [ "counter"; "gauge"; "summary"; "histogram"; "untyped" ] ->
+            if Hashtbl.mem types name then err line "duplicate TYPE for family"
+            else begin
+              Hashtbl.replace types name typ;
+              Ok ()
+            end
+        | _ -> err line "malformed TYPE line"
+      end
+      else if String.length line >= 1 && line.[0] = '#' then
+        if String.length line >= 7 && String.sub line 0 7 = "# HELP " then Ok ()
+        else err line "unknown comment line"
+      else
+        match scan_sample line with
+        | exception Bad msg -> err line msg
+        | name ->
+            let strip suffix =
+              let ls = String.length suffix and ln = String.length name in
+              if ln > ls && String.sub name (ln - ls) ls = suffix then
+                let base = String.sub name 0 (ln - ls) in
+                if Hashtbl.find_opt types base = Some "summary" then Some base else None
+              else None
+            in
+            let family =
+              match strip "_sum" with
+              | Some base -> Some base
+              | None -> ( match strip "_count" with Some base -> Some base | None -> None)
+            in
+            let family = match family with Some f -> f | None -> name in
+            if not (Hashtbl.mem types family) then err line "sample before its TYPE line"
+            else begin
+              Hashtbl.replace sampled name ();
+              Ok ()
+            end
+    in
+    let rec walk = function
+      | [] ->
+          (* Every declared summary family must have shipped its _sum
+             and _count series. *)
+          Hashtbl.fold
+            (fun name typ acc ->
+              match acc with
+              | Error _ -> acc
+              | Ok () ->
+                  if typ = "summary"
+                     && not
+                          (Hashtbl.mem sampled (name ^ "_sum")
+                          && Hashtbl.mem sampled (name ^ "_count"))
+                  then Error (Printf.sprintf "summary %s missing _sum/_count samples" name)
+                  else acc)
+            types (Ok ())
+      | line :: rest -> ( match check line with Ok () -> walk rest | Error _ as e -> e)
+    in
+    walk lines
+  end

@@ -1,0 +1,37 @@
+(** Read-out of the {!Registry}: a JSON snapshot for the protocol and
+    stats embedding, and Prometheus text exposition (format 0.0.4) for
+    scraping — plus {!lint}, the grammar checker shared by the unit
+    tests and [scripts/check_prom.exe] in CI.
+
+    Histograms are exposed as Prometheus {e summary} families: one
+    series per quantile in {!quantiles} (label [quantile], always the
+    last label), plus [_sum] and [_count] series. Label values are
+    escaped per the exposition rules ([\\] -> [\\\\], ["] -> [\\"],
+    newline -> [\\n]); HELP text escapes [\\] and newline only. *)
+
+val quantiles : float list
+(** The quantiles every histogram is exposed at: p50, p90, p99. *)
+
+val escape_label : string -> string
+val escape_help : string -> string
+
+val prometheus : unit -> string
+(** The full registry as Prometheus text exposition: for each metric
+    family a [# HELP] line (when help text was registered), a [# TYPE]
+    line, then its samples. Ends with a newline. *)
+
+val json : unit -> Json_min.t
+(** The full registry as JSON:
+    [{"counters":[{"name","labels","value"},...],
+      "gauges":[...],
+      "histograms":[{"name","labels","count","sum","p50","p90","p99"},...]}]
+    with [labels] an object of label pairs. *)
+
+val lint : string -> (unit, string) result
+(** [lint text] checks [text] against the exposition grammar this
+    module emits: every non-comment line is
+    [name[{label="value",...}] number]; label values use only the three
+    legal escapes; a sample's family must be declared by a preceding
+    [# TYPE] line; summary families must come with [_sum] and [_count]
+    samples; the text must be newline-terminated. [Error _] carries the
+    first offending line. *)

@@ -1,0 +1,54 @@
+(** The flight recorder: a fixed-size ring of the last N request
+    summaries, dumped as a JSON artifact on crash, on shutdown, or on
+    demand — the forensic record a wedged or chaos-overwhelmed daemon
+    leaves behind.
+
+    Recording takes a mutex (the entry copy is a few words, and the
+    recorder sits after the response is written, off the latency
+    path). Dumps are atomic: tmp file + rename, the repo-wide artifact
+    idiom. *)
+
+(** One request summary. [tier] is the serve origin (computed / cached
+    / coalesced, or "none" for bare verbs); [code] is the CLI exit
+    code the outcome maps to (0 when [ok]). *)
+type entry = {
+  seq : int;  (** monotone sequence number, never reused *)
+  at : float;  (** Unix.gettimeofday at completion *)
+  id : int;  (** per-connection request id *)
+  verb : string;
+  machine : string;
+  algorithm : string;
+  tier : string;
+  wall_ms : float;
+  ok : bool;
+  code : int;
+  error : string;  (** error class name, "" when [ok] *)
+}
+
+type t
+
+val create : int -> t
+(** [create capacity] — the ring keeps the last [capacity] entries
+    (at least 1). *)
+
+val capacity : t -> int
+
+val record : t -> entry -> unit
+(** Append, overwriting the oldest entry once full. The [seq] field of
+    the recorded copy is assigned by the ring (callers leave it 0). *)
+
+val recorded : t -> int
+(** Total entries ever recorded (>= length of {!entries}). *)
+
+val entries : t -> entry list
+(** Current contents, oldest first. *)
+
+val to_json : ?reason:string -> t -> Json_min.t
+(** [{"schema":"nova-flightrec/v1","reason":…,"capacity":…,
+     "recorded":…,"entries":[…oldest first…]}]. [reason] says why the
+    dump happened ("shutdown", "crash", "request"). *)
+
+val dump : ?reason:string -> path:string -> t -> unit
+(** Write {!to_json} to [path] atomically (tmp + rename). Best-effort:
+    IO errors are swallowed — the dump must never take the daemon down
+    with it. *)

@@ -1,0 +1,95 @@
+(* Registration (rare) takes [lock]; observation (hot) is an atomic
+   bump gated on one boolean load. Instruments are interned by
+   (name, sorted labels) so every call site bumping the same logical
+   series shares one cell. *)
+
+type labels = (string * string) list
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
+
+(* On by default: this is the production layer, not a debug fabric.
+   The bench harness flips it off to measure the metered-vs-bare
+   difference. *)
+let on = Atomic.make true
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+let valid_metric_name n =
+  n <> ""
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       n
+
+let valid_label_name n =
+  n <> ""
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       n
+
+let normalize name labels =
+  if not (valid_metric_name name) then
+    invalid_arg (Printf.sprintf "Metrics.Registry: bad metric name %S" name);
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg (Printf.sprintf "Metrics.Registry: bad label name %S on %s" k name))
+    labels;
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+type series = { s_name : string; s_labels : labels; s_help : string }
+
+let lock = Mutex.create ()
+let counters : (string * labels, series * counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string * labels, series * gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string * labels, series * Histogram.t) Hashtbl.t = Hashtbl.create 32
+
+let intern table make ?(help = "") ?(labels = []) name =
+  let labels = normalize name labels in
+  let key = (name, labels) in
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some (_, v) -> v
+      | None ->
+          let v = make () in
+          Hashtbl.add table key ({ s_name = name; s_labels = labels; s_help = help }, v);
+          v)
+
+let counter ?help ?labels name = intern counters (fun () -> Atomic.make 0) ?help ?labels name
+let gauge ?help ?labels name = intern gauges (fun () -> Atomic.make 0.) ?help ?labels name
+let histogram ?help ?labels name = intern histograms Histogram.create ?help ?labels name
+
+let inc c = if Atomic.get on then Atomic.incr c
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c n)
+let counter_value c = Atomic.get c
+
+let set_gauge g v = if Atomic.get on then Atomic.set g v
+let gauge_value g = Atomic.get g
+
+let observe h v = if Atomic.get on then Histogram.observe h v
+
+type snapshot = {
+  counters : (series * int) list;
+  gauges : (series * float) list;
+  histograms : (series * Histogram.t) list;
+}
+
+let sorted_entries table read =
+  Hashtbl.fold (fun _ (s, v) acc -> (s, read v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare (a.s_name, a.s_labels) (b.s_name, b.s_labels))
+
+let snapshot () =
+  Mutex.protect lock (fun () ->
+      {
+        counters = sorted_entries counters Atomic.get;
+        gauges = sorted_entries gauges Atomic.get;
+        histograms = sorted_entries histograms (fun h -> h);
+      })
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter (fun _ (_, c) -> Atomic.set c 0) counters;
+      Hashtbl.iter (fun _ (_, g) -> Atomic.set g 0.) gauges;
+      Hashtbl.iter (fun _ (_, h) -> Histogram.reset h) histograms)

@@ -12,6 +12,8 @@ type encode_request = {
 type request =
   | Ping
   | Stats
+  | Metrics
+  | Flightrec
   | Shutdown
   | Encode of encode_request
   | Report of { machine : machine_ref; budget_ms : float option }
@@ -75,6 +77,8 @@ let parse_request line =
             | None -> bad "missing \"verb\""
             | Some "ping" -> Ok { id; request = Ping }
             | Some "stats" -> Ok { id; request = Stats }
+            | Some "metrics" -> Ok { id; request = Metrics }
+            | Some "flightrec" -> Ok { id; request = Flightrec }
             | Some "shutdown" -> Ok { id; request = Shutdown }
             | Some "report" ->
                 Ok

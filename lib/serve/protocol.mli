@@ -6,7 +6,8 @@
 
     {v
 request  := { "verb": VERB, "id"?: ID, ...verb fields }
-VERB     := "ping" | "stats" | "shutdown" | "encode" | "report"
+VERB     := "ping" | "stats" | "metrics" | "flightrec" | "shutdown"
+          | "encode" | "report"
 ID       := any JSON value; echoed verbatim in the response
 
 encode   := verb fields: ("machine": NAME | "kiss2": TEXT ["name": NAME]),
@@ -52,6 +53,8 @@ type encode_request = {
 type request =
   | Ping
   | Stats
+  | Metrics  (** payload: Prometheus exposition; ["metrics"]: JSON snapshot *)
+  | Flightrec  (** payload: the flight-recorder dump as one JSON document *)
   | Shutdown
   | Encode of encode_request
   | Report of { machine : machine_ref; budget_ms : float option }

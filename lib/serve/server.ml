@@ -6,12 +6,18 @@ type config = {
   cap_work : int option;
   cache : Exec.Cache.t option;
   quiet : bool;
+  access_log : string option;
+  flight_record : string option;
+  flight_capacity : int;
 }
+
+let default_flight_capacity = 64
 
 let default_config ~socket_path =
   {
     socket_path; jobs = 1; max_inflight = 1; cap_deadline_ms = None; cap_work = None;
-    cache = None; quiet = false;
+    cache = None; quiet = false; access_log = None; flight_record = None;
+    flight_capacity = default_flight_capacity;
   }
 
 type stats = {
@@ -27,8 +33,15 @@ type stats = {
 (* What one request resolves to, shared verbatim between coalesced
    requesters: the rendered stdout payload (when any), the error that
    sets the response code (when any — a report table with error rows
-   carries both), and where the result came from. *)
-type served = { payload : string option; err : Nova_error.t option; origin : string }
+   carries both), where the result came from, and the budget work the
+   computation charged (followers report the leader's spend — it is the
+   work behind the bytes they received). *)
+type served = {
+  payload : string option;
+  err : Nova_error.t option;
+  origin : string;
+  spent : int;
+}
 
 type t = {
   cfg : config;
@@ -47,6 +60,10 @@ type t = {
   conns : (Unix.file_descr, unit) Hashtbl.t;
   conns_mutex : Mutex.t;
   started : float;
+  seq : int Atomic.t;  (* server-assigned request ids (access log, flight ring) *)
+  flight : Metrics.Flight.t;
+  access : out_channel option;
+  access_lock : Mutex.t;
 }
 
 (* Mirrored into Instrument (default-off, like every probe in the tree)
@@ -58,6 +75,35 @@ let i_errors = Instrument.counter "serve.errors"
 let i_coalesced = Instrument.counter "serve.coalesced"
 let i_computed = Instrument.counter "serve.computed"
 let i_hits = Instrument.counter "serve.cache_hits"
+
+(* Production metrics (default-on, see lib/metrics): request counts by
+   verb, full-request latency by (tier, verb), and the four lifecycle
+   phases. Labeled instruments are interned per call — a mutexed table
+   lookup, noise against even a ping's socket round-trip. *)
+let m_requests verb =
+  Metrics.Registry.counter ~help:"Requests by verb (malformed lines count as invalid)."
+    ~labels:[ ("verb", verb) ] "nova_serve_requests_total"
+
+let m_request_seconds ~tier ~verb =
+  Metrics.Registry.histogram
+    ~help:"Full request latency by serving tier and verb."
+    ~labels:[ ("tier", tier); ("verb", verb) ]
+    "nova_serve_request_seconds"
+
+let m_phase phase =
+  Metrics.Registry.histogram ~help:"Request lifecycle phase latency."
+    ~labels:[ ("phase", phase) ] "nova_serve_phase_seconds"
+
+let m_parse = m_phase "parse"
+let m_admission = m_phase "admission"
+let m_compute = m_phase "compute"
+let m_render = m_phase "render"
+
+let timed h f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Metrics.Registry.observe h (Unix.gettimeofday () -. t0);
+  r
 
 let snapshot t =
   {
@@ -108,6 +154,7 @@ let with_slot t f =
   let t0 = Unix.gettimeofday () in
   Semaphore.Counting.acquire t.slots;
   let queue_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Metrics.Registry.observe m_admission (queue_ms /. 1000.);
   if Trace.enabled () && queue_ms > 0.5 then
     Trace.instant "serve.queue" ~attrs:[ ("queue_ms", Trace.Float queue_ms) ];
   Fun.protect ~finally:(fun () -> Semaphore.Counting.release t.slots) (fun () -> f ())
@@ -140,7 +187,7 @@ let render_encode m (s : Exec.Job.success) ~budget =
    "byte-identical to the one-shot CLI with the same flags". *)
 let serve_encode t (req : Protocol.encode_request) =
   match resolve_machine req.Protocol.machine with
-  | Error e -> { payload = None; err = Some e; origin = "request" }
+  | Error e -> { payload = None; err = Some e; origin = "request"; spent = 0 }
   | Ok m -> (
       let task = Exec.Job.task ?bits:req.bits ~fallback:req.fallback m req.algorithm in
       let leader ?cache () =
@@ -148,16 +195,19 @@ let serve_encode t (req : Protocol.encode_request) =
         let budget =
           Budget.derive ?deadline_ms:req.budget_ms ?max_work:req.max_work (caps t)
         in
-        let row = Exec.Portfolio.run_task ?cache ~budget task in
+        let row = timed m_compute (fun () -> Exec.Portfolio.run_task ?cache ~budget task) in
         count_origin t row;
+        let spent = Budget.spent budget in
         match row.Exec.Job.result with
         | Ok s ->
             {
-              payload = Some (render_encode m s ~budget);
+              payload = Some (timed m_render (fun () -> render_encode m s ~budget));
               err = None;
               origin = origin_name row.Exec.Job.origin;
+              spent;
             }
-        | Error e -> { payload = None; err = Some e; origin = origin_name row.Exec.Job.origin }
+        | Error e ->
+            { payload = None; err = Some e; origin = origin_name row.Exec.Job.origin; spent }
       in
       let plain = req.budget_ms = None && req.max_work = None in
       if not plain then leader ()
@@ -174,24 +224,26 @@ let serve_encode t (req : Protocol.encode_request) =
 
 let serve_report t ~budget_ms machine =
   match resolve_machine machine with
-  | Error e -> { payload = None; err = Some e; origin = "request" }
+  | Error e -> { payload = None; err = Some e; origin = "request"; spent = 0 }
   | Ok m -> (
       let tasks = Exec.Portfolio.tasks_for m in
       let plain = budget_ms = None in
       let unconstrained = plain && t.cfg.cap_deadline_ms = None && t.cfg.cap_work = None in
       let leader ?cache () =
         with_slot t @@ fun () ->
-        let rows =
+        let rows, spent =
+          timed m_compute @@ fun () ->
           if unconstrained then
             (* No external budget anywhere: run the real portfolio pool
                (rows are jobs-independent, so --jobs only buys time). *)
-            Exec.Portfolio.run ~jobs:t.cfg.jobs ?cache tasks
+            (Exec.Portfolio.run ~jobs:t.cfg.jobs ?cache tasks, 0)
           else
             (* A budget tree is ticked by one domain: under a request
                deadline the tasks run sequentially, sharing the request
                budget — a per-request ceiling, not a per-task one. *)
             let budget = Budget.derive ?deadline_ms:budget_ms (caps t) in
-            List.map (fun task -> Exec.Portfolio.run_task ?cache ~budget task) tasks
+            let rows = List.map (fun task -> Exec.Portfolio.run_task ?cache ~budget task) tasks in
+            (rows, Budget.spent budget)
         in
         List.iter (count_origin t) rows;
         let err =
@@ -208,7 +260,13 @@ let serve_report t ~budget_ms machine =
           then "computed"
           else "cached"
         in
-        { payload = Some (Render.report_table ~race:false ~num_machines:1 rows); err; origin }
+        {
+          payload =
+            Some (timed m_render (fun () -> Render.report_table ~race:false ~num_machines:1 rows));
+          err;
+          origin;
+          spent;
+        }
       in
       if not plain then leader ()
       else
@@ -224,6 +282,26 @@ let serve_report t ~budget_ms machine =
             Atomic.incr t.c_coalesced;
             Instrument.bump i_coalesced;
             { served with origin = "coalesced" })
+
+(* The quarantine registry as JSON rows — runtime visibility into the
+   pairs the supervisor has written off (and how much work the skips
+   saved), embedded in the stats response. *)
+let quarantine_json () =
+  Json_min.Arr
+    (List.map
+       (fun (q : Exec.Supervise.quarantine_entry) ->
+         Json_min.Obj
+           [
+             ("machine", Json_min.Str q.Exec.Supervise.q_machine);
+             ("algorithm", Json_min.Str q.Exec.Supervise.q_algorithm);
+             ("cycles", Json_min.Num (float_of_int q.Exec.Supervise.q_cycles));
+             ("skips", Json_min.Num (float_of_int q.Exec.Supervise.q_skips));
+             ( "quarantined",
+               Json_min.Bool (q.Exec.Supervise.q_cycles >= Exec.Supervise.quarantine_threshold)
+             );
+             ("detail", Json_min.Str q.Exec.Supervise.q_detail);
+           ])
+       (Exec.Supervise.quarantine_snapshot ()))
 
 let stats_response t ~id =
   let s = snapshot t in
@@ -259,8 +337,29 @@ let stats_response t ~id =
          ("inflight_peak", num s.inflight_peak);
          ("uptime_s", Json_min.Num (Unix.gettimeofday () -. t.started));
        ]
-      @ cache_fields)
+      @ cache_fields
+      (* New keys only ever append: every pre-metrics key above stays
+         byte-compatible (pinned by test_serve). *)
+      @ [ ("metrics", Metrics.Expose.json ()); ("quarantine", quarantine_json ()) ])
     ~payload ()
+
+let metrics_response ~id =
+  Protocol.ok_response ?id
+    ~extra:[ ("proto", Json_min.Str Protocol.proto); ("metrics", Metrics.Expose.json ()) ]
+    ~payload:(Metrics.Expose.prometheus ()) ()
+
+(* The flightrec payload is the same JSON document a crash/shutdown
+   dump writes; when a --flight-record path is configured the request
+   also refreshes the on-disk artifact. *)
+let flightrec_response t ~id =
+  let doc = Metrics.Flight.to_json ~reason:"request" t.flight in
+  (match t.cfg.flight_record with
+  | Some path -> Metrics.Flight.dump ~reason:"request" ~path t.flight
+  | None -> ());
+  Protocol.ok_response ?id
+    ~extra:[ ("proto", Json_min.Str Protocol.proto) ]
+    ~payload:(Json_min.render doc ^ "\n")
+    ()
 
 let respond_served t ~id (s : served) =
   match s.err with
@@ -275,6 +374,99 @@ let respond_served t ~id (s : served) =
       Instrument.bump i_errors;
       Protocol.error_response ?id ?payload:s.payload e
 
+(* Per-request summary, feeding the metrics registry, the access log
+   and the flight ring from one place at the end of [handle_line]. *)
+type summary = {
+  s_verb : string;
+  s_machine : string;
+  s_algorithm : string;
+  s_tier : string;  (* the serve origin; "none" for bare verbs *)
+  s_ok : bool;
+  s_code : int;
+  s_error : string;
+  s_spent : int;
+}
+
+let bare verb = {
+  s_verb = verb; s_machine = ""; s_algorithm = ""; s_tier = "none"; s_ok = true; s_code = 0;
+  s_error = ""; s_spent = 0;
+}
+
+let machine_ref_name = function
+  | Protocol.Builtin name -> name
+  | Protocol.Kiss2 { name; _ } -> Option.value name ~default:"<kiss2>"
+
+(* Error identities in summaries stay short: the first line, capped —
+   flight dumps and access logs are records, not crash reports. *)
+let error_brief e =
+  let s = Nova_error.to_string e in
+  let s = match String.index_opt s '\n' with Some i -> String.sub s 0 i | None -> s in
+  if String.length s > 160 then String.sub s 0 160 else s
+
+let summary_of_served verb ~machine ~algorithm (s : served) =
+  {
+    s_verb = verb;
+    s_machine = machine;
+    s_algorithm = algorithm;
+    s_tier = s.origin;
+    s_ok = s.err = None;
+    s_code = (match s.err with None -> 0 | Some e -> Nova_error.exit_code e);
+    s_error = (match s.err with None -> "" | Some e -> error_brief e);
+    s_spent = s.spent;
+  }
+
+(* One summary, three sinks: the (tier, verb) latency histogram + verb
+   counter, one JSONL access-log line (append + flush under a mutex —
+   lines from concurrent handler threads must not interleave), and the
+   flight ring. The access log gets the budget spend too; the flight
+   entry stays within its fixed shape. *)
+let record_request t (s : summary) ~wall =
+  Metrics.Registry.inc (m_requests s.s_verb);
+  Metrics.Registry.observe (m_request_seconds ~tier:s.s_tier ~verb:s.s_verb) wall;
+  let id = Atomic.fetch_and_add t.seq 1 in
+  let entry =
+    {
+      Metrics.Flight.seq = 0;
+      at = Unix.gettimeofday ();
+      id;
+      verb = s.s_verb;
+      machine = s.s_machine;
+      algorithm = s.s_algorithm;
+      tier = s.s_tier;
+      wall_ms = wall *. 1000.;
+      ok = s.s_ok;
+      code = s.s_code;
+      error = s.s_error;
+    }
+  in
+  Metrics.Flight.record t.flight entry;
+  match t.access with
+  | None -> ()
+  | Some oc ->
+      let line =
+        Json_min.render
+          (Json_min.Obj
+             [
+               ("at", Json_min.Num entry.Metrics.Flight.at);
+               ("id", Json_min.Num (float_of_int id));
+               ("verb", Json_min.Str s.s_verb);
+               ("machine", Json_min.Str s.s_machine);
+               ("algorithm", Json_min.Str s.s_algorithm);
+               ("tier", Json_min.Str s.s_tier);
+               ("wall_ms", Json_min.Num (wall *. 1000.));
+               ("ok", Json_min.Bool s.s_ok);
+               ("code", Json_min.Num (float_of_int s.s_code));
+               ("error", Json_min.Str s.s_error);
+               ("spent", Json_min.Num (float_of_int s.s_spent));
+             ])
+        ^ "\n"
+      in
+      Mutex.protect t.access_lock (fun () ->
+          try
+            output_string oc line;
+            flush oc
+          with Sys_error _ -> ())
+
 (* One request line in, one response line out. Anything non-fatal the
    dispatch raises — the serve chaos site included — becomes a typed
    Job_crashed response (the daemon's exit-7 equivalent); fatal
@@ -286,57 +478,71 @@ let handle_line t line =
   let verb_of = function
     | Protocol.Ping -> "ping"
     | Protocol.Stats -> "stats"
+    | Protocol.Metrics -> "metrics"
+    | Protocol.Flightrec -> "flightrec"
     | Protocol.Shutdown -> "shutdown"
     | Protocol.Encode _ -> "encode"
     | Protocol.Report _ -> "report"
   in
-  let response, verb =
-    match Protocol.parse_request line with
+  let response, summary =
+    match timed m_parse (fun () -> Protocol.parse_request line) with
     | Error (id, e) ->
         Atomic.incr t.c_errors;
         Instrument.bump i_errors;
-        (Protocol.error_response ?id e, "invalid")
+        ( Protocol.error_response ?id e,
+          { (bare "invalid") with
+            s_ok = false; s_code = Nova_error.exit_code e; s_error = error_brief e } )
     | Ok { Protocol.id; request } -> (
         let verb = verb_of request in
+        let serve ok () =
+          Atomic.incr t.c_served;
+          Instrument.bump i_served;
+          (ok, bare verb)
+        in
         try
           Exec.Chaos.maybe_raise Exec.Chaos.Serve;
           match request with
           | Protocol.Ping ->
-              Atomic.incr t.c_served;
-              Instrument.bump i_served;
-              ( Protocol.ok_response ?id
-                  ~extra:[ ("proto", Json_min.Str Protocol.proto) ]
-                  ~payload:"pong" (),
-                verb )
-          | Protocol.Stats ->
-              Atomic.incr t.c_served;
-              Instrument.bump i_served;
-              (stats_response t ~id, verb)
+              serve
+                (Protocol.ok_response ?id
+                   ~extra:[ ("proto", Json_min.Str Protocol.proto) ]
+                   ~payload:"pong" ())
+                ()
+          | Protocol.Stats -> serve (stats_response t ~id) ()
+          | Protocol.Metrics -> serve (metrics_response ~id) ()
+          | Protocol.Flightrec -> serve (flightrec_response t ~id) ()
           | Protocol.Shutdown ->
               Atomic.set t.stop true;
-              Atomic.incr t.c_served;
-              Instrument.bump i_served;
-              (Protocol.ok_response ?id ~payload:"shutting down" (), verb)
-          | Protocol.Encode req -> (respond_served t ~id (serve_encode t req), verb)
+              serve (Protocol.ok_response ?id ~payload:"shutting down" ()) ()
+          | Protocol.Encode req ->
+              let machine = machine_ref_name req.Protocol.machine in
+              let algorithm = Harness.Driver.name req.Protocol.algorithm in
+              let served = serve_encode t req in
+              ( respond_served t ~id served,
+                summary_of_served verb ~machine ~algorithm served )
           | Protocol.Report { machine; budget_ms } ->
-              (respond_served t ~id (serve_report t ~budget_ms machine), verb)
+              let served = serve_report t ~budget_ms machine in
+              ( respond_served t ~id served,
+                summary_of_served verb ~machine:(machine_ref_name machine)
+                  ~algorithm:"portfolio" served )
         with
         | (Out_of_memory | Stack_overflow | Sys.Break) as e -> raise e
         | e ->
             Atomic.incr t.c_errors;
             Instrument.bump i_errors;
-            ( Protocol.error_response ?id
-                (Nova_error.Job_crashed
-                   { job = "serve:" ^ verb; attempts = 1; detail = Printexc.to_string e }),
-              verb ))
+            let err =
+              Nova_error.Job_crashed
+                { job = "serve:" ^ verb; attempts = 1; detail = Printexc.to_string e }
+            in
+            ( Protocol.error_response ?id err,
+              { (bare verb) with
+                s_ok = false; s_code = Nova_error.exit_code err; s_error = error_brief err } ))
   in
+  let wall = Unix.gettimeofday () -. t0 in
+  record_request t summary ~wall;
   if Trace.enabled () then
     Trace.instant "serve.request"
-      ~attrs:
-        [
-          ("verb", Trace.String verb);
-          ("wall_ms", Trace.Float ((Unix.gettimeofday () -. t0) *. 1000.));
-        ];
+      ~attrs:[ ("verb", Trace.String summary.s_verb); ("wall_ms", Trace.Float (wall *. 1000.)) ];
   response
 
 (* --- connection plumbing ------------------------------------------------ *)
@@ -511,6 +717,24 @@ let run cfg =
   match bind_socket cfg.socket_path with
   | Error e -> Error e
   | Ok listen_fd ->
+      (* The access log opens append-only before the first request and
+         fails the run loudly: a daemon asked to keep a request record
+         must not serve without one. *)
+      let access =
+        match cfg.access_log with
+        | None -> Ok None
+        | Some path -> (
+            match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+            | oc -> Ok (Some oc)
+            | exception Sys_error msg ->
+                Error (Nova_error.Invalid_request ("cannot open access log: " ^ msg)))
+      in
+      (match access with
+       | Error e ->
+           (try Unix.close listen_fd with Unix.Unix_error (_, _, _) -> ());
+           (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+           Error e
+       | Ok access ->
       let t =
         {
           cfg; listen_fd; stop = Atomic.make false; active = Atomic.make 0;
@@ -522,6 +746,10 @@ let run cfg =
           conns = Hashtbl.create 16;
           conns_mutex = Mutex.create ();
           started = Unix.gettimeofday ();
+          seq = Atomic.make 0;
+          flight = Metrics.Flight.create (max 1 cfg.flight_capacity);
+          access;
+          access_lock = Mutex.create ();
         }
       in
       current := Some t;
@@ -532,36 +760,53 @@ let run cfg =
           (match cfg.cache with
           | Some c -> ", cache " ^ Exec.Cache.dir c
           | None -> ", no cache");
-      with_signals t (fun () ->
-          accept_loop t;
-          (* Drain: let in-flight requests finish writing, bounded so a
-             wedged request cannot hold shutdown hostage. *)
-          let deadline = Unix.gettimeofday () +. drain_timeout_s in
-          while Atomic.get t.active > 0 && Unix.gettimeofday () < deadline do
-            Thread.delay 0.01
-          done;
-          (* Unblock handler threads parked in read; they observe EOF
-             and close their fds themselves. *)
-          Mutex.lock t.conns_mutex;
-          Hashtbl.iter
-            (fun fd () ->
-              try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
-            t.conns;
-          Mutex.unlock t.conns_mutex;
-          Thread.delay 0.05;
-          (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
-          (try Sys.remove cfg.socket_path with Sys_error _ -> ());
-          let swept =
-            match cfg.cache with None -> 0 | Some c -> Exec.Cache.sweep_own_tmp c
-          in
-          let s = snapshot t in
-          last := s;
-          current := None;
-          if not cfg.quiet then
-            Printf.eprintf
-              "serve: shutdown after %d requests (%d served, %d errors, %d coalesced, peak \
-               in-flight %d%s)\n\
-               %!"
-              s.requests s.served s.errors s.coalesced s.inflight_peak
-              (if swept > 0 then Printf.sprintf ", %d stale tmp swept" swept else "");
-          Ok ())
+      let dump_flight reason =
+        match cfg.flight_record with
+        | Some path -> Metrics.Flight.dump ~reason ~path t.flight
+        | None -> ()
+      in
+      let serve_until_shutdown () =
+        with_signals t (fun () ->
+            accept_loop t;
+            (* Drain: let in-flight requests finish writing, bounded so a
+               wedged request cannot hold shutdown hostage. *)
+            let deadline = Unix.gettimeofday () +. drain_timeout_s in
+            while Atomic.get t.active > 0 && Unix.gettimeofday () < deadline do
+              Thread.delay 0.01
+            done;
+            (* Unblock handler threads parked in read; they observe EOF
+               and close their fds themselves. *)
+            Mutex.lock t.conns_mutex;
+            Hashtbl.iter
+              (fun fd () ->
+                try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
+              t.conns;
+            Mutex.unlock t.conns_mutex;
+            Thread.delay 0.05;
+            (try Unix.close t.listen_fd with Unix.Unix_error (_, _, _) -> ());
+            (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+            let swept =
+              match cfg.cache with None -> 0 | Some c -> Exec.Cache.sweep_own_tmp c
+            in
+            dump_flight "shutdown";
+            (match t.access with Some oc -> (try close_out oc with Sys_error _ -> ()) | None -> ());
+            let s = snapshot t in
+            last := s;
+            current := None;
+            if not cfg.quiet then
+              Printf.eprintf
+                "serve: shutdown after %d requests (%d served, %d errors, %d coalesced, peak \
+                 in-flight %d%s)\n\
+                 %!"
+                s.requests s.served s.errors s.coalesced s.inflight_peak
+                (if swept > 0 then Printf.sprintf ", %d stale tmp swept" swept else "");
+            Ok ())
+      in
+      (* A fatal exception escaping the serve loop is the crash the
+         flight recorder exists for: dump the ring on the way down. *)
+      (try serve_until_shutdown ()
+       with e ->
+         dump_flight "crash";
+         (match t.access with Some oc -> (try close_out oc with Sys_error _ -> ()) | None -> ());
+         current := None;
+         raise e))

@@ -43,10 +43,21 @@ type config = {
   cap_work : int option;  (** ...each axis the min of cap and ask *)
   cache : Exec.Cache.t option;
   quiet : bool;  (** suppress the stderr banner and shutdown summary *)
+  access_log : string option;
+      (** append one JSONL line per request (id, verb, machine,
+          algorithm, tier, wall, outcome/exit code, budget spent) *)
+  flight_record : string option;
+      (** dump the flight-recorder ring to this path on crash, on
+          shutdown, and on each [flightrec] request *)
+  flight_capacity : int;  (** flight-ring size (last N requests) *)
 }
 
+val default_flight_capacity : int
+(** 64 — the default flight-ring size. *)
+
 val default_config : socket_path:string -> config
-(** 1 job, 1 compute slot, no caps, no cache, not quiet. *)
+(** 1 job, 1 compute slot, no caps, no cache, not quiet, no access log,
+    no flight-record path, {!default_flight_capacity} ring. *)
 
 (** Counter snapshot, as served by the [stats] verb (also mirrored in
     the [serve.*] Instrument counters when instrumentation is on). *)

@@ -1,0 +1,47 @@
+(* Standalone Prometheus exposition linter used by CI: checks a scraped
+   metrics payload against the grammar lib/metrics emits — every sample
+   under a preceding # TYPE line, legal label escapes only, numeric
+   values, summary families complete with _sum and _count, the text
+   newline-terminated. Shares Metrics.Expose.lint with the unit tests,
+   so the linter and the emitter cannot drift apart.
+
+     check_prom FILE [FILE...]     ("-" reads stdin)
+
+   Exit 0 when every input lints clean, 1 otherwise, 2 on usage. *)
+
+let read_all ic =
+  let b = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel b ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: check_prom FILE [FILE...]   (\"-\" reads stdin)";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match
+        if path = "-" then read_all stdin
+        else begin
+          let ic = open_in_bin path in
+          Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_all ic)
+        end
+      with
+      | exception Sys_error msg ->
+          failed := true;
+          Printf.printf "%s: %s\n" path msg
+      | text -> (
+          match Metrics.Expose.lint text with
+          | Ok () -> Printf.printf "%s: OK\n" path
+          | Error msg ->
+              failed := true;
+              Printf.printf "%s: INVALID: %s\n" path msg))
+    args;
+  exit (if !failed then 1 else 0)

@@ -165,7 +165,14 @@ echo "  scaling: quick artifact valid, self-diff exit 0, exponent bump exit 1: o
 
 echo "== serve smoke: daemon round-trip, determinism, clean shutdown =="
 SOCK="$TMP/serve.sock"
-$NOVA serve --socket "$SOCK" --cache "$TMP/serve-cache" --quiet &
+ACCESS_LOG="$TMP/access.jsonl"
+FLIGHT="$TMP/flight.json"
+# One seeded crash among the first two requests (the serve chaos site):
+# the smoke proves the killed request is recoverable from the flight
+# recorder while every later request is untouched.
+$NOVA serve --socket "$SOCK" --cache "$TMP/serve-cache" --quiet \
+  --access-log "$ACCESS_LOG" --flight-record "$FLIGHT" \
+  --chaos serve:1 --chaos-seed 11 &
 SERVE_PID=$!
 up=0
 for _ in $(seq 1 100); do
@@ -173,6 +180,10 @@ for _ in $(seq 1 100); do
   sleep 0.05
 done
 [ "$up" -eq 1 ] || { echo "serve daemon did not come up"; exit 1; }
+# Exhaust the chaos window (1 fault in the first 2 serve invocations):
+# whichever ping drew the injected crash, everything after this burner
+# is deterministic.
+$NOVA client ping --socket "$SOCK" > /dev/null 2>&1 || true
 $NOVA client ping --socket "$SOCK" | grep -q pong \
   || { echo "ping did not pong"; exit 1; }
 # The determinism pin: a served payload is the one-shot stdout, byte
@@ -198,12 +209,59 @@ diff "$TMP/served-co1.txt" "$TMP/served-co2.txt" \
 rc=0; $NOVA client encode -a ihybrid no-such-machine --socket "$SOCK" \
   > /dev/null 2>&1 || rc=$?
 [ "$rc" -eq 5 ] || { echo "bad request: expected exit 5, got $rc"; exit 1; }
-$NOVA client stats --socket "$SOCK" | grep -q "serve stats:" \
-  || { echo "stats verb failed"; exit 1; }
+echo "== serve observability: metrics, watch, access log, flight recorder =="
+# The Prometheus exposition must pass the standalone linter, and the
+# requests above must have produced per-tier latency quantiles.
+CHECK_PROM=_build/default/scripts/check_prom.exe
+$NOVA client metrics --socket "$SOCK" > "$TMP/metrics.prom"
+$CHECK_PROM "$TMP/metrics.prom" > /dev/null \
+  || { echo "exposition failed check_prom"; exit 1; }
+for q in 0.5 0.99; do
+  for tier in computed cached; do
+    grep -q "nova_serve_request_seconds{tier=\"$tier\",verb=\"encode\",quantile=\"$q\"}" \
+      "$TMP/metrics.prom" \
+      || { echo "missing p$q for the $tier tier"; exit 1; }
+  done
+done
+grep -q 'nova_serve_requests_total{verb="ping"}' "$TMP/metrics.prom" \
+  || { echo "missing per-verb request counter"; exit 1; }
+echo "  exposition lints, per-tier p50/p99 present: ok"
+# The minimal top: two polls, counters with deltas and quantiles.
+$NOVA client watch --socket "$SOCK" --interval 100 -n 2 > "$TMP/watch.txt" \
+  || { echo "client watch failed"; exit 1; }
+grep -q "tick 2" "$TMP/watch.txt" || { echo "watch did not poll twice"; exit 1; }
+grep -q "nova_serve_requests_total" "$TMP/watch.txt" \
+  || { echo "watch shows no counters"; exit 1; }
+grep -q "p99=" "$TMP/watch.txt" || { echo "watch shows no quantiles"; exit 1; }
+echo "  client watch polls and renders: ok"
+# The chaos-killed request is recoverable from the flight recorder.
+$NOVA client flightrec --socket "$SOCK" > "$TMP/flightrec.json"
+grep -q '"schema":"nova-flightrec/v1"' "$TMP/flightrec.json" \
+  || { echo "flightrec missing schema"; exit 1; }
+grep -q '"code":7' "$TMP/flightrec.json" \
+  || { echo "chaos-killed request not in the flight recorder"; exit 1; }
+echo "  chaos-killed request recoverable via flightrec: ok"
+# stats: legacy payload intact, metrics and quarantine keys embedded.
+$NOVA client stats --socket "$SOCK" > "$TMP/stats.txt"
+grep -q "serve stats:" "$TMP/stats.txt" || { echo "stats verb failed"; exit 1; }
+requests=$(sed -n 's/serve stats: \([0-9]*\) requests.*/\1/p' "$TMP/stats.txt")
 $NOVA client shutdown --socket "$SOCK" | grep -q "shutting down" \
   || { echo "shutdown verb failed"; exit 1; }
 wait $SERVE_PID || { echo "daemon exited nonzero"; exit 1; }
 [ ! -e "$SOCK" ] || { echo "socket file not removed at shutdown"; exit 1; }
+# Access log 1:1: every request line answered is one JSONL line — the
+# stats counter, plus the shutdown request that followed it.
+logged=$(wc -l < "$ACCESS_LOG")
+[ "$logged" -eq "$((requests + 1))" ] \
+  || { echo "access log has $logged lines for $((requests + 1)) requests"; exit 1; }
+grep -q '"verb":"encode"' "$ACCESS_LOG" \
+  || { echo "access log missing the encode requests"; exit 1; }
+# The shutdown dump persists the crash evidence to disk.
+grep -q '"reason":"shutdown"' "$FLIGHT" \
+  || { echo "flight-record artifact missing shutdown dump"; exit 1; }
+grep -q '"code":7' "$FLIGHT" \
+  || { echo "crash evidence missing from the shutdown dump"; exit 1; }
+echo "  access log 1:1 ($logged lines), shutdown flight dump has the crash: ok"
 echo "  ping, cold/warm/pair determinism, typed error, clean shutdown: ok"
 
 echo "== serve bench gates: warm and coalesced >= 5x better than cold =="
@@ -225,6 +283,20 @@ sed "s/\"warm_wall_s\":[0-9.eE+-]*/\"warm_wall_s\":$tier_gate/; \
 $NOVA bench-diff "$TMP/BENCH_serve_gate.json" "$TMP/BENCH_serve.json" > /dev/null \
   || { echo "warm/coalesced tier less than 5x better than cold"; exit 1; }
 echo "  nova-bench-serve/v1 valid, self-diff clean, 5x tier gates: ok"
+
+echo "== metrics gate: the metered hot path must cost ~nothing =="
+# The serve artifact records the same warm loop metered (registry on)
+# and bare (registry off); a pseudo-baseline whose metered wall equals
+# the bare wall makes bench-diff fail iff metering costs more than the
+# threshold + wall floor.
+metered=$(sed 's/.*"metered_wall_s":\([0-9.eE+-]*\).*/\1/' "$TMP/BENCH_serve.json")
+bare=$(sed 's/.*"bare_wall_s":\([0-9.eE+-]*\).*/\1/' "$TMP/BENCH_serve.json")
+sed "s/\"metered_wall_s\":[0-9.eE+-]*/\"metered_wall_s\":$bare/" \
+  "$TMP/BENCH_serve.json" > "$TMP/BENCH_serve_metered_base.json"
+$NOVA bench-diff -t 25 "$TMP/BENCH_serve_metered_base.json" "$TMP/BENCH_serve.json" \
+  > /dev/null \
+  || { echo "metrics overhead beyond threshold (bare=$bare metered=$metered)"; exit 1; }
+echo "  metered wall within 25% of bare wall: ok"
 
 # Bench smokes run inside $TMP: they write BENCH_*.json into the
 # current directory, and the repo root holds the committed full-mode

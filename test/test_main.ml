@@ -37,5 +37,6 @@ let () =
       ("chaos", Test_chaos.suite);
       ("trace", Test_trace.suite);
       ("scaling", Test_scaling.suite);
+      ("metrics", Test_metrics.suite);
       ("serve", Test_serve.suite);
     ]

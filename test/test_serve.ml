@@ -536,6 +536,210 @@ let test_serve_coalescing () =
   | None -> Alcotest.fail "blocker reply missing"
 
 (* ------------------------------------------------------------------ *)
+(* Observability: stats byte-compat, the metrics verb, the access log,
+   and the flight recorder *)
+
+(* The stats response may only ever APPEND keys: every pre-metrics
+   field — names, order, values — is pinned here against last_stats,
+   so an existing client parsing the object sees identical bytes. *)
+let test_serve_stats_byte_compat () =
+  with_server @@ fun path ->
+  let c = must_connect path in
+  ignore (must_request c (Serve.Protocol.verb_line "ping"));
+  let r = must_request c (Serve.Protocol.verb_line "stats") in
+  Serve.Client.close c;
+  let s = Serve.Server.last_stats () in
+  let fields =
+    match r.Serve.Protocol.raw with
+    | Json_min.Obj fields -> fields
+    | _ -> Alcotest.fail "stats reply is not an object"
+  in
+  (* Key order: the legacy keys exactly as before, new keys strictly
+     after them (no cache configured here, so no cache_* fields). *)
+  let legacy =
+    [
+      "status"; "payload"; "proto"; "requests"; "served"; "errors"; "coalesced";
+      "computed"; "inflight_peak"; "uptime_s";
+    ]
+  in
+  check "legacy keys first, in order, then only appended keys" true
+    (List.filteri (fun i _ -> i < List.length legacy) (List.map fst fields) = legacy);
+  check "metrics key appended" true (List.mem_assoc "metrics" fields);
+  check "quarantine key appended" true (List.mem_assoc "quarantine" fields);
+  (* Legacy values still mean what they meant. *)
+  let num k =
+    match List.assoc_opt k fields with Some (Json_min.Num n) -> int_of_float n | _ -> -1
+  in
+  check_int "requests" s.Serve.Server.requests (num "requests");
+  (* The stats response counts itself as served only after its own
+     snapshot was taken. *)
+  check_int "served" (s.Serve.Server.served - 1) (num "served");
+  check_int "errors" s.Serve.Server.errors (num "errors");
+  check_int "coalesced" s.Serve.Server.coalesced (num "coalesced");
+  check_int "computed" s.Serve.Server.computed (num "computed");
+  check_int "inflight_peak" s.Serve.Server.inflight_peak (num "inflight_peak");
+  (* The human payload is rebuilt byte-identically from the counters. *)
+  let expected_payload =
+    Printf.sprintf
+      "serve stats: %d requests, %d served, %d errors\n\
+       coalesced %d, computed %d, cache hits %d, peak in-flight %d\n\
+       cache: off\n"
+      s.Serve.Server.requests (s.Serve.Server.served - 1) s.Serve.Server.errors
+      s.Serve.Server.coalesced s.Serve.Server.computed s.Serve.Server.cache_hits
+      s.Serve.Server.inflight_peak
+  in
+  check_str "stats payload byte-compatible" expected_payload
+    (Option.value r.Serve.Protocol.payload ~default:"")
+
+let test_serve_metrics_verb () =
+  with_server @@ fun path ->
+  let c = must_connect path in
+  ignore (must_request c (request_line ~algorithm:"igreedy" "lion"));
+  let r = must_request c (Serve.Protocol.verb_line "metrics") in
+  Serve.Client.close c;
+  check "metrics ok" true r.Serve.Protocol.ok;
+  let text = Option.value r.Serve.Protocol.payload ~default:"" in
+  (match Metrics.Expose.lint text with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "served exposition does not lint: %s" m);
+  let doc = Option.get (Json_min.member "metrics" r.Serve.Protocol.raw) in
+  let rows field =
+    Option.value (Option.bind (Json_min.member field doc) Json_min.to_list) ~default:[]
+  in
+  let series_with name field =
+    List.filter
+      (fun row -> Option.bind (Json_min.member "name" row) Json_min.to_string = Some name)
+      (rows field)
+  in
+  check "request counter present" true
+    (series_with "nova_serve_requests_total" "counters" <> []);
+  (* The encode above produced a per-tier latency series with quantiles. *)
+  (* The registry is process-global, so earlier suites may have grown
+     this series already — presence and positive quantiles are the
+     invariant, not an absolute count. *)
+  let tiered =
+    List.filter
+      (fun row ->
+        match Json_min.member "labels" row with
+        | Some labels ->
+            Option.bind (Json_min.member "tier" labels) Json_min.to_string
+              = Some "computed"
+            && Option.bind (Json_min.member "verb" labels) Json_min.to_string
+               = Some "encode"
+        | None -> false)
+      (series_with "nova_serve_request_seconds" "histograms")
+  in
+  (match tiered with
+  | [ row ] ->
+      let n k = Option.bind (Json_min.member k row) Json_min.to_float in
+      check "computed tier counted" true
+        (match n "count" with Some v -> v >= 1. | None -> false);
+      List.iter
+        (fun k -> check (k ^ " positive") true (match n k with Some v -> v > 0. | None -> false))
+        [ "p50"; "p90"; "p99"; "sum" ]
+  | rows -> Alcotest.failf "expected one computed-encode series, got %d" (List.length rows))
+
+(* Every request line answered — good, bad, bare — is one access-log
+   line; the 1:1 invariant is against the server's own request
+   counter. *)
+let test_serve_access_log () =
+  with_temp_dir @@ fun dir ->
+  let log = Filename.concat dir "access.jsonl" in
+  with_server ~tweak:(fun c -> { c with Serve.Server.access_log = Some log }) (fun path ->
+      let c = must_connect path in
+      ignore (must_request c (request_line ~algorithm:"igreedy" "lion"));
+      ignore (must_request c "{\"verb\":\"nope\"}");
+      ignore (must_request c (Serve.Protocol.verb_line "stats"));
+      Serve.Client.close c);
+  let s = Serve.Server.last_stats () in
+  let ic = open_in log in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  check_int "one line per request, shutdown included" s.Serve.Server.requests
+    (List.length lines);
+  let docs = List.map Json_min.of_string lines in
+  let str k d = Option.bind (Json_min.member k d) Json_min.to_string in
+  let encode_line_doc = List.find (fun d -> str "verb" d = Some "encode") docs in
+  check "encode logged with machine" true (str "machine" encode_line_doc = Some "lion");
+  check "encode logged with algorithm" true
+    (str "algorithm" encode_line_doc = Some "igreedy");
+  check "encode logged with tier" true (str "tier" encode_line_doc = Some "computed");
+  check "encode logged ok" true
+    (Json_min.member "ok" encode_line_doc = Some (Json_min.Bool true));
+  check "spent is a number" true
+    (match Option.bind (Json_min.member "spent" encode_line_doc) Json_min.to_float with
+    | Some v -> v >= 0.
+    | None -> false);
+  let invalid = List.find (fun d -> str "verb" d = Some "invalid") docs in
+  check "bad request logged as invalid with its exit code" true
+    (Option.bind (Json_min.member "code" invalid) Json_min.to_float = Some 5.);
+  (* Request ids are unique and monotone. *)
+  let ids =
+    List.filter_map (fun d -> Option.bind (Json_min.member "id" d) Json_min.to_float) docs
+  in
+  check "ids monotone" true (List.sort_uniq compare ids = ids)
+
+(* A chaos-crashed request must be recoverable from the flight
+   recorder: the ring keeps its verb and exit code 7, through the
+   flightrec verb and the shutdown dump alike. *)
+let test_serve_flight_recorder () =
+  with_temp_dir @@ fun dir ->
+  let dump = Filename.concat dir "flight.json" in
+  with_server ~tweak:(fun c ->
+      { c with Serve.Server.flight_record = Some dump; flight_capacity = 8 })
+    (fun path ->
+      Fun.protect ~finally:Exec.Chaos.disable @@ fun () ->
+      (match Exec.Chaos.configure ~seed:11 "serve:1" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "chaos spec: %s" m);
+      let c = must_connect path in
+      let r1 = must_request c (Serve.Protocol.verb_line "ping") in
+      let r2 = must_request c (Serve.Protocol.verb_line "ping") in
+      check_int "one injected crash" 1
+        (List.length
+           (List.filter (fun (r : Serve.Protocol.reply) -> not r.Serve.Protocol.ok) [ r1; r2 ]));
+      Exec.Chaos.disable ();
+      let r = must_request c (Serve.Protocol.verb_line "flightrec") in
+      check "flightrec ok" true r.Serve.Protocol.ok;
+      let doc = Json_min.of_string (Option.value r.Serve.Protocol.payload ~default:"null") in
+      check "flightrec schema" true
+        (Option.bind (Json_min.member "schema" doc) Json_min.to_string
+        = Some "nova-flightrec/v1");
+      let entries =
+        Option.value (Option.bind (Json_min.member "entries" doc) Json_min.to_list)
+          ~default:[]
+      in
+      let crashed =
+        List.filter
+          (fun e -> Option.bind (Json_min.member "code" e) Json_min.to_float = Some 7.)
+          entries
+      in
+      check_int "the crashed ping is in the ring" 1 (List.length crashed);
+      check "crash recorded as a ping" true
+        (Option.bind (Json_min.member "verb" (List.hd crashed)) Json_min.to_string
+        = Some "ping");
+      (* The flightrec request refreshed the on-disk artifact too. *)
+      check "flight-record artifact written" true (Sys.file_exists dump);
+      Serve.Client.close c);
+  (* Shutdown rewrote the artifact with its own reason, and the crash
+     is still recoverable from disk. *)
+  let doc = Json_min.of_file dump in
+  check "shutdown dump reason" true
+    (Option.bind (Json_min.member "reason" doc) Json_min.to_string = Some "shutdown");
+  let entries =
+    Option.value (Option.bind (Json_min.member "entries" doc) Json_min.to_list) ~default:[]
+  in
+  check "crash recoverable from the shutdown dump" true
+    (List.exists
+       (fun e -> Option.bind (Json_min.member "code" e) Json_min.to_float = Some 7.)
+       entries)
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle: stale sockets, live refusal, shutdown sweep *)
 
 let test_serve_stale_socket_replaced () =
@@ -658,6 +862,12 @@ let suite =
       test_serve_wire_truncation_reassembly;
     Alcotest.test_case "serve: oversized line" `Quick test_serve_wire_oversized_line;
     Alcotest.test_case "serve: chaos site answers typed" `Quick test_serve_chaos_typed_crash;
+    Alcotest.test_case "serve: stats keys byte-compatible" `Quick test_serve_stats_byte_compat;
+    Alcotest.test_case "serve: metrics verb lints and carries tiers" `Quick
+      test_serve_metrics_verb;
+    Alcotest.test_case "serve: access log is 1:1 with requests" `Quick test_serve_access_log;
+    Alcotest.test_case "serve: flight recorder keeps the crash" `Quick
+      test_serve_flight_recorder;
     Alcotest.test_case "inflight: one leader, shared result" `Quick test_inflight_unit;
     Alcotest.test_case "serve: K clients coalesce to one computation" `Slow
       test_serve_coalescing;
